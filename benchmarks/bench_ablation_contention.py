@@ -1,0 +1,51 @@
+"""Ablation: link-level contention modelling on vs off.
+
+DESIGN.md decision 1: the fabric uses a channel-occupancy wormhole
+approximation with FIFO link contention.  Turning contention off makes
+every route conflict-free; this bench quantifies how much of the total
+exchange time contention contributes on each machine (and verifies
+latency-dominated operations are insensitive to it).
+"""
+
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.report import format_table
+
+CONFIG_ON = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1,
+                              contention=True)
+CONFIG_OFF = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1,
+                               contention=False)
+
+
+def run_ablation():
+    rows = []
+    for machine in ("sp2", "t3d", "paragon"):
+        for op, nbytes in (("alltoall", 65536), ("broadcast", 65536),
+                           ("barrier", 0)):
+            with_contention = measure_collective(
+                machine, op, nbytes, 32, CONFIG_ON).time_us
+            without = measure_collective(
+                machine, op, nbytes, 32, CONFIG_OFF).time_us
+            rows.append((machine, op, with_contention, without))
+    return rows
+
+
+def test_ablation_contention(benchmark, single_shot, capsys):
+    rows = single_shot(benchmark, run_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["machine", "op", "contention on [us]", "off [us]",
+             "overhead"],
+            [[m, op, f"{on:.0f}", f"{off:.0f}", f"{on / off:.3f}x"]
+             for m, op, on, off in rows],
+            title="Ablation: link contention (p=32, 64 KB)"))
+
+    by_key = {(m, op): (on, off) for m, op, on, off in rows}
+    for machine in ("sp2", "t3d", "paragon"):
+        # Contention can only slow things down.
+        for op in ("alltoall", "broadcast", "barrier"):
+            on, off = by_key[(machine, op)]
+            assert on >= off * 0.99, (machine, op, on, off)
+        # The barrier moves (almost) no payload: insensitive.
+        on, off = by_key[(machine, "barrier")]
+        assert on < off * 1.2, (machine, on, off)

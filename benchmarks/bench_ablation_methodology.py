@@ -1,0 +1,73 @@
+"""Ablation: the paper's measurement methodology.
+
+DESIGN.md decision 4: three methodological choices the paper makes (or
+that the era's implementations force) and what each is worth:
+
+* **collective serialization** — consecutive collectives on one
+  communicator cannot overlap.  Without it, back-to-back timed
+  iterations pipeline and the measured per-iteration broadcast time
+  collapses toward the per-node throughput bound, destroying the
+  O(log p) scaling the paper reports;
+* **warm-up discard** — keeping the cold iterations inflates the mean;
+* **max-reduce over processes** — the max is what reflects "all
+  processes have finished"; the min under-reports the operation.
+"""
+
+from dataclasses import replace
+
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.report import format_table
+from repro.machines import SP2
+
+CONFIG = MeasurementConfig(iterations=4, warmup_iterations=1, runs=1)
+
+
+def run_ablation():
+    pipelined = replace(SP2, name="sp2-pipelined",
+                        serialize_collectives=False)
+    results = {}
+    for p in (8, 64):
+        results[f"bcast T(4B,{p})/serialized"] = measure_collective(
+            SP2, "broadcast", 4, p, CONFIG).time_us
+        results[f"bcast T(4B,{p})/pipelined"] = measure_collective(
+            pipelined, "broadcast", 4, p, CONFIG).time_us
+
+    cold = MeasurementConfig(iterations=4, warmup_iterations=0, runs=1)
+    results["bcast 4KB/warmup discarded"] = measure_collective(
+        SP2, "broadcast", 4096, 32, CONFIG).time_us
+    results["bcast 4KB/cold iterations kept"] = measure_collective(
+        SP2, "broadcast", 4096, 32, cold).time_us
+
+    sample = measure_collective(SP2, "gather", 1024, 32, CONFIG)
+    results["gather/max-reduce"] = sample.process_max_us
+    results["gather/min-reduce"] = sample.process_min_us
+    return results
+
+
+def test_ablation_methodology(benchmark, single_shot, capsys):
+    results = single_shot(benchmark, run_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["variant", "time [us]"],
+            [[k, f"{v:.0f}"] for k, v in results.items()],
+            title="Ablation: measurement methodology (SP2)"))
+
+    # Without serialization the measured time stops tracking the
+    # critical path: the pipelined 64-node broadcast reads much closer
+    # to the 8-node one than the serialized measurement does.
+    serialized_growth = results["bcast T(4B,64)/serialized"] / \
+        results["bcast T(4B,8)/serialized"]
+    pipelined_growth = results["bcast T(4B,64)/pipelined"] / \
+        results["bcast T(4B,8)/pipelined"]
+    assert serialized_growth > pipelined_growth, results
+    assert results["bcast T(4B,64)/pipelined"] < \
+        results["bcast T(4B,64)/serialized"], results
+
+    # Cold iterations inflate the measurement.
+    assert results["bcast 4KB/cold iterations kept"] > \
+        results["bcast 4KB/warmup discarded"], results
+
+    # The max-reduce reports more than the min-reduce on a rooted
+    # operation with asymmetric per-rank work.
+    assert results["gather/max-reduce"] > results["gather/min-reduce"]

@@ -1,0 +1,57 @@
+"""Ablation: the T3D's special hardware features.
+
+DESIGN.md decision 3: the paper credits the T3D's lead to its
+hardwired barrier and block transfer engine.  Disable each in the
+machine model and measure what is lost:
+
+* hardwired barrier -> software tree: the ~3 us barrier becomes
+  hundreds of microseconds (the paper's ">= 30x" claim in reverse);
+* BLT -> host path: long-message scatter slows down.
+"""
+
+from dataclasses import replace
+
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.report import format_table
+from repro.machines import T3D
+
+CONFIG = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1)
+
+
+def run_ablation():
+    no_barrier_wire = replace(
+        T3D, name="t3d-no-hw-barrier", barrier_wire=None,
+        algorithms={**dict(T3D.algorithms), "barrier": "tree_barrier"})
+    no_blt = replace(T3D, name="t3d-no-blt", dma=None,
+                     dma_collectives=())
+
+    results = {}
+    results["barrier/hardwired"] = measure_collective(
+        T3D, "barrier", 0, 64, CONFIG).time_us
+    results["barrier/software tree"] = measure_collective(
+        no_barrier_wire, "barrier", 0, 64, CONFIG).time_us
+    results["scatter 64KB/with BLT"] = measure_collective(
+        T3D, "scatter", 65536, 64, CONFIG).time_us
+    results["scatter 64KB/host path"] = measure_collective(
+        no_blt, "scatter", 65536, 64, CONFIG).time_us
+    return results
+
+
+def test_ablation_t3d_features(benchmark, single_shot, capsys):
+    results = single_shot(benchmark, run_ablation)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["variant", "time [us]"],
+            [[k, f"{v:.0f}"] for k, v in results.items()],
+            title="Ablation: T3D hardware features (p=64)"))
+
+    # Without the barrier wire the T3D barrier loses its edge by well
+    # over an order of magnitude.
+    assert results["barrier/software tree"] > \
+        30 * results["barrier/hardwired"], results
+
+    # Without the BLT, long-message scatter is at least 1.5x slower
+    # (host-driven injection at E-register speed).
+    assert results["scatter 64KB/host path"] > \
+        1.5 * results["scatter 64KB/with BLT"], results

@@ -1,0 +1,87 @@
+"""Extension bench: modern collective algorithms on the 1996 machines.
+
+The paper's conclusion calls for research into improved collective
+implementations.  This bench races the period algorithms against the
+variants that later became standard (van de Geijn broadcast, ring
+allgather, binomial gather) on the same simulated hardware, locating
+the message-size crossover where each improvement starts to pay.
+"""
+
+from dataclasses import replace
+
+from repro.bench import crossover_message_size
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.report import format_table, format_us
+from repro.machines import SP2, T3D
+
+CONFIG = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1)
+SIZES = (4, 1024, 16384, 262144)
+
+
+def _with_algorithm(spec, op, algorithm):
+    return replace(spec, name=f"{spec.name}-ext",
+                   algorithms={**dict(spec.algorithms), op: algorithm})
+
+
+def run_races():
+    races = {
+        ("sp2 broadcast", "binomial", "van de Geijn"): (
+            SP2, _with_algorithm(SP2, "broadcast",
+                                 "scatter_allgather_broadcast"),
+            "broadcast"),
+        ("t3d broadcast", "binomial", "van de Geijn"): (
+            T3D, _with_algorithm(T3D, "broadcast",
+                                 "scatter_allgather_broadcast"),
+            "broadcast"),
+        ("sp2 allgather", "gather+bcast", "ring"): (
+            SP2, _with_algorithm(SP2, "allgather", "ring_allgather"),
+            "allgather"),
+        ("sp2 gather", "linear", "binomial tree"): (
+            SP2, _with_algorithm(SP2, "gather", "binomial_tree_gather"),
+            "gather"),
+    }
+    results = {}
+    for key, (baseline, variant, op) in races.items():
+        # The binomial-gather advantage is a latency effect that only
+        # overtakes the root's linear drain at larger machine sizes.
+        p = 64 if op == "gather" else 32
+        base_series = {m: measure_collective(baseline, op, m, p,
+                                             CONFIG).time_us
+                       for m in SIZES}
+        variant_series = {m: measure_collective(variant, op, m, p,
+                                                CONFIG).time_us
+                          for m in SIZES}
+        results[key] = (base_series, variant_series)
+    return results
+
+
+def test_extension_algorithms(benchmark, single_shot, capsys):
+    results = single_shot(benchmark, run_races)
+    with capsys.disabled():
+        print()
+        rows = []
+        for (race, base_name, var_name), (base, var) in results.items():
+            for m in SIZES:
+                rows.append([race, m, format_us(base[m]),
+                             format_us(var[m]),
+                             f"{var[m] / base[m]:.2f}x"])
+        print(format_table(
+            ["race", "m [B]", "period algorithm", "modern variant",
+             "variant/period"],
+            rows, title="Period vs modern collective algorithms "
+                        "(p=32)"))
+
+    # van de Geijn broadcast: loses at 4 B, wins at 256 KB on the SP2.
+    base, variant = results[("sp2 broadcast", "binomial",
+                             "van de Geijn")]
+    assert variant[4] > base[4]
+    assert variant[262144] < base[262144]
+    assert crossover_message_size(base, variant) is not None
+
+    # Ring allgather wins for long blocks.
+    base, variant = results[("sp2 allgather", "gather+bcast", "ring")]
+    assert variant[262144] < base[262144]
+
+    # Binomial gather wins the latency end.
+    base, variant = results[("sp2 gather", "linear", "binomial tree")]
+    assert variant[4] < base[4]

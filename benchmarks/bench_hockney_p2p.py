@@ -1,0 +1,51 @@
+"""Point-to-point characterization: Hockney's r_inf / n_half.
+
+The paper's Section 9: "The aggregated bandwidth ... offers a better
+metric to quantify the data transfer rate in a collective message
+passing operation.  The asymptotic bandwidth by Hockney is only
+effective in characterizing point-to-point communications."  This
+bench fits Hockney's parameters on the simulator and demonstrates the
+point: the p2p ranking (Paragon's 175 MB/s first) inverts under
+short-message collectives (Paragon last).
+"""
+
+from repro.core import MeasurementConfig, fit_hockney, \
+    measure_startup_latency
+from repro.core.report import format_table
+
+CONFIG = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1)
+
+
+def run_characterization():
+    fits = {m: fit_hockney(m) for m in ("sp2", "t3d", "paragon")}
+    startup = {m: measure_startup_latency(m, "alltoall", 32,
+                                          CONFIG).time_us
+               for m in ("sp2", "t3d", "paragon")}
+    return fits, startup
+
+
+def test_hockney_characterization(benchmark, single_shot, capsys):
+    fits, startup = single_shot(benchmark, run_characterization)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["machine", "t0 [us]", "r_inf [MB/s]", "n_1/2 [B]",
+             "R^2", "alltoall T0(32) [us]"],
+            [[m, f"{f.latency_us:.1f}", f"{f.r_inf_mbs:.1f}",
+              f"{f.n_half_bytes:.0f}", f"{f.r_squared:.4f}",
+              f"{startup[m]:.0f}"]
+             for m, f in fits.items()],
+            title="Hockney point-to-point fit vs collective startup"))
+
+    # p2p asymptotic-bandwidth ranking: Paragon > T3D > SP2 (host
+    # messaging rates 175 / 100 / 40 MB/s).
+    assert fits["paragon"].r_inf_mbs > fits["t3d"].r_inf_mbs > \
+        fits["sp2"].r_inf_mbs
+    # p2p latency ranking: T3D lowest (fast messaging hardware).
+    assert fits["t3d"].latency_us == \
+        min(f.latency_us for f in fits.values())
+    # ...and yet the collective ranking inverts: Paragon is the worst
+    # machine for a short-message total exchange.  Hockney's p2p
+    # numbers cannot predict collective performance — the paper's
+    # argument for its aggregated-bandwidth metric.
+    assert max(startup, key=startup.get) == "paragon"

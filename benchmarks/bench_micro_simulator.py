@@ -1,0 +1,84 @@
+"""Microbenchmarks of the simulator itself (events/sec, message rate).
+
+Unlike the figure benches (single-shot campaigns), these use
+pytest-benchmark conventionally — many rounds of a small kernel — to
+track the simulator's own performance so regressions in the engine or
+transport hot paths are visible.
+"""
+
+from repro.mpi import MpiWorld
+from repro.sim import Environment
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire rate of bare timeout events."""
+
+    def run():
+        env = Environment()
+
+        def proc():
+            for _ in range(2000):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 2000.0
+
+
+def test_resource_handoff_throughput(benchmark):
+    """Grant/release rate through a contended FIFO resource."""
+    from repro.sim import Resource
+
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        done = []
+
+        def worker(i):
+            for _ in range(50):
+                request = resource.request()
+                yield request
+                yield env.timeout(0.1)
+                resource.release(request)
+            done.append(i)
+
+        for i in range(10):
+            env.process(worker(i))
+        env.run()
+        return len(done)
+
+    assert benchmark(run) == 10
+
+
+def test_ptp_message_rate(benchmark):
+    """End-to-end transport pipeline rate (T3D, 2 nodes)."""
+
+    def run():
+        world = MpiWorld("t3d", 2, seed=0)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(100):
+                    yield from ctx.send(1, 64, tag=i)
+                return None
+            for i in range(100):
+                yield from ctx.recv(0, tag=i)
+            return None
+
+        world.run(program)
+        return world.comm.transport.messages_delivered
+
+    assert benchmark(run) == 100
+
+
+def test_collective_simulation_rate(benchmark):
+    """Whole-collective simulation cost (16-node SP2 broadcast)."""
+
+    def run():
+        world = MpiWorld("sp2", 16, seed=0)
+        return world.run_collective("broadcast", 1024, iterations=5)
+
+    assert benchmark(run) > 0

@@ -1,0 +1,59 @@
+"""Model validation: analytic predictor vs full simulation.
+
+The paper's broader programme (its refs [31, 32]) is *predicting* MPP
+performance from a few machine parameters.  This bench sweeps the
+analytic model against simulated measurements over ops, sizes, and
+machines and reports the error distribution; it asserts the predictor
+stays within 50% everywhere on the sweep and within 15% at the median.
+"""
+
+import statistics
+
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.analytic import predict_time_us
+from repro.core.report import format_table
+from repro.machines import get_machine_spec
+
+CONFIG = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1)
+
+POINTS = [
+    (op, nbytes, p)
+    for op in ("barrier", "broadcast", "scatter", "gather", "reduce",
+               "scan", "alltoall")
+    for nbytes in ((0,) if op == "barrier" else (4, 4096, 65536))
+    for p in (8, 32)
+]
+
+
+def run_validation():
+    rows = []
+    for machine in ("sp2", "t3d", "paragon"):
+        spec = get_machine_spec(machine)
+        for op, nbytes, p in POINTS:
+            predicted = predict_time_us(spec, op, nbytes, p)
+            simulated = measure_collective(machine, op, nbytes, p,
+                                           CONFIG).time_us
+            rows.append((machine, op, nbytes, p, predicted, simulated))
+    return rows
+
+
+def test_model_validation(benchmark, single_shot, capsys):
+    rows = single_shot(benchmark, run_validation)
+    ratios = [predicted / simulated
+              for *_, predicted, simulated in rows]
+    with capsys.disabled():
+        print()
+        worst = sorted(rows, key=lambda r: abs(r[4] / r[5] - 1.0))[-8:]
+        print(format_table(
+            ["machine", "op", "m", "p", "predicted [us]",
+             "simulated [us]", "ratio"],
+            [[m, op, nb, p, f"{pr:.0f}", f"{si:.0f}",
+              f"{pr / si:.2f}x"] for m, op, nb, p, pr, si in worst],
+            title="Analytic model: 8 worst points of the sweep"))
+        print(f"sweep size: {len(rows)}; ratio median "
+              f"{statistics.median(ratios):.3f}, "
+              f"min {min(ratios):.3f}, max {max(ratios):.3f}")
+
+    assert all(0.5 < r < 1.5 for r in ratios), \
+        (min(ratios), max(ratios))
+    assert 0.85 < statistics.median(ratios) < 1.15

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's artifacts (a figure, a
+table, or a headline claim set), prints the regenerated rows/series the
+way the paper reports them, and asserts the qualitative *shape* facts
+the paper states.  ``pytest benchmarks/ --benchmark-only`` runs them
+all; set ``REPRO_BENCH_FAST=1`` for a coarse, quicker grid.
+"""
+
+import pytest
+
+from repro.core import MeasurementConfig
+
+
+def _single_shot(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The functions being benchmarked are whole simulation campaigns
+    (seconds to minutes); pytest-benchmark's default calibration would
+    re-run them dozens of times for no statistical gain.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def single_shot():
+    return _single_shot
+
+
+@pytest.fixture
+def quick_point_config():
+    """Cheap config for benches that measure individual points."""
+    return MeasurementConfig(iterations=2, warmup_iterations=1, runs=1,
+                             seed=1997)

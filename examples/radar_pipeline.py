@@ -1,0 +1,49 @@
+"""Full STAP radar pipeline across machines and partition sizes.
+
+Uses the :mod:`repro.apps` kernels — the STAP chain the paper's
+benchmark data came from — to answer the question its abstract poses:
+how should a developer trade divided computation against collective
+communication on each machine?
+
+Usage::
+
+    python examples/radar_pipeline.py
+"""
+
+from repro.apps import RadarCube, simulate_stap
+from repro.core.report import format_table, format_us
+
+CUBE = RadarCube(channels=16, pulses=128, ranges=512)
+MACHINE_SIZES = (4, 8, 16, 32, 64)
+
+
+def main() -> None:
+    rows = []
+    for machine in ("sp2", "t3d", "paragon"):
+        results = {p: simulate_stap(machine, p, CUBE)
+                   for p in MACHINE_SIZES}
+        best = min(results, key=lambda p: results[p].total_us)
+        rows.append(
+            [machine]
+            + [f"{format_us(results[p].total_us)} "
+               f"({results[p].communication_fraction:.0%} comm)"
+               for p in MACHINE_SIZES]
+            + [str(best)])
+    print(format_table(
+        ["machine"] + [f"p={p}" for p in MACHINE_SIZES] + ["best p"],
+        rows,
+        title=f"STAP interval: {CUBE.channels} ch x {CUBE.pulses} "
+              f"pulses x {CUBE.ranges} ranges"))
+    print()
+    detail = simulate_stap("t3d", 16, CUBE)
+    print(detail.format())
+    print()
+    print("The corner turn (total exchange) is the scaling limiter: "
+          "its share grows with p while the FFT/beamform phases "
+          "shrink — the divided-computation vs collective-"
+          "communication trade-off the paper's closed forms were "
+          "derived to navigate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Application kernels built on the simulated MPI runtime.
+
+Three realistic collective-communication consumers — the STAP radar
+pipeline the paper's data came from, a distributed 2-D FFT, and a
+parallel sample sort — each with labelled compute/communication phase
+breakdowns for trade-off studies.
+"""
+
+from .base import AppResult, PhaseTracker, run_app
+from .fft2d import FftGrid, fft2d_program, simulate_fft2d
+from .samplesort import SortJob, samplesort_program, simulate_samplesort
+from .stap import RadarCube, simulate_stap, stap_pipeline
+
+__all__ = [
+    "AppResult",
+    "FftGrid",
+    "PhaseTracker",
+    "RadarCube",
+    "SortJob",
+    "fft2d_program",
+    "run_app",
+    "samplesort_program",
+    "simulate_fft2d",
+    "simulate_samplesort",
+    "simulate_stap",
+    "stap_pipeline",
+]

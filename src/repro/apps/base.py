@@ -1,0 +1,118 @@
+"""Shared machinery for the application kernels.
+
+An application kernel is an SPMD program with labelled *phases*, each
+either compute (modelled as flops at the machine's sustained rate) or
+communication (real simulated collectives).  :class:`PhaseTracker`
+accumulates per-phase wall time on each rank; :class:`AppResult`
+aggregates the slowest rank's breakdown — the paper's
+divided-computation-vs-collective-communication trade-off made
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List
+
+from ..core.report import format_table, format_us
+from ..mpi import MpiWorld, RankContext
+
+__all__ = ["PhaseTracker", "AppResult", "run_app"]
+
+
+class PhaseTracker:
+    """Accumulates labelled wall-time spans on one rank."""
+
+    def __init__(self, ctx: RankContext):
+        self.ctx = ctx
+        self.phase_us: Dict[str, float] = {}
+
+    def compute(self, label: str,
+                flops: float) -> Generator:
+        """Model ``flops`` of computation at the machine's rate."""
+        if flops < 0:
+            raise ValueError(f"negative flop count {flops}")
+        rate = self.ctx.comm.spec.compute_mflops  # MFLOPS == flops/us
+        yield from self.timed(label, self.ctx.delay(flops / rate))
+
+    def timed(self, label: str, operation: Generator) -> Generator:
+        """Run ``operation`` and charge its wall time to ``label``.
+
+        As in real MPI profilers, a collective's charged time includes
+        any wait for peers still computing — load imbalance surfaces
+        as communication time on the waiting ranks.
+        """
+        start = self.ctx.env.now
+        yield from operation
+        self.phase_us[label] = self.phase_us.get(label, 0.0) + \
+            (self.ctx.env.now - start)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.phase_us)
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Aggregated outcome of one application run."""
+
+    app: str
+    machine: str
+    num_nodes: int
+    total_us: float
+    #: Phase breakdown of the slowest (critical) rank.
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_us(self) -> float:
+        return sum(v for k, v in self.phases.items()
+                   if k.startswith("compute"))
+
+    @property
+    def communication_us(self) -> float:
+        return sum(v for k, v in self.phases.items()
+                   if k.startswith("comm"))
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.total_us <= 0:
+            return 0.0
+        return self.communication_us / self.total_us
+
+    def format(self) -> str:
+        rows: List[List[str]] = [
+            [label, format_us(value),
+             f"{value / self.total_us:.0%}" if self.total_us else "-"]
+            for label, value in sorted(self.phases.items())
+        ]
+        rows.append(["TOTAL", format_us(self.total_us), "100%"])
+        return format_table(
+            ["phase", "time", "share"], rows,
+            title=f"{self.app} on {self.machine}, "
+                  f"{self.num_nodes} nodes")
+
+
+def run_app(app_name: str, machine: str, num_nodes: int, program_factory,
+            seed: int = 0) -> AppResult:
+    """Run a phase-tracked SPMD program and aggregate the result.
+
+    ``program_factory(tracker)`` must return a generator; each rank
+    gets its own :class:`PhaseTracker`.
+    """
+    world = MpiWorld(machine, num_nodes, seed=seed)
+    trackers: List[PhaseTracker] = []
+
+    def program(ctx: RankContext):
+        tracker = PhaseTracker(ctx)
+        trackers.append(tracker)
+        yield from program_factory(tracker)
+        return sum(tracker.phase_us.values())
+
+    per_rank_totals = world.run(program)
+    slowest = max(range(num_nodes), key=per_rank_totals.__getitem__)
+    return AppResult(
+        app=app_name,
+        machine=world.spec.name,
+        num_nodes=num_nodes,
+        total_us=per_rank_totals[slowest],
+        phases=trackers[slowest].snapshot(),
+    )

@@ -1,0 +1,95 @@
+"""Parallel sample sort: the collective-heavy sorting workhorse.
+
+Sample sort exercises four different collectives in one algorithm —
+gather (samples to root), broadcast (splitters), total exchange
+(bucket redistribution), and barrier — making it a good end-to-end
+stress of the runtime and a third realistic consumer of the paper's
+operations.
+
+Phases (keys of ``KEY_BYTES`` each, ``keys_per_node`` per node):
+
+1. local sort — ``n log2 n`` comparisons at ~4 flops each;
+2. sampling — each node sends ``oversample * p`` sampled keys to the
+   root (gather), which sorts them and broadcasts ``p-1`` splitters;
+3. redistribution — total exchange of bucket contents (balanced-bucket
+   approximation: ``n/p`` keys per pair);
+4. local merge — ``n log2 p`` comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import AppResult, PhaseTracker, run_app
+
+__all__ = ["SortJob", "samplesort_program", "simulate_samplesort"]
+
+KEY_BYTES = 8
+COMPARISON_FLOPS = 4.0
+
+
+@dataclass(frozen=True)
+class SortJob:
+    """Problem description for one parallel sort."""
+
+    keys_per_node: int = 250_000
+    oversample: int = 8
+
+    def __post_init__(self) -> None:
+        if self.keys_per_node < 1:
+            raise ValueError("need at least one key per node")
+        if self.oversample < 1:
+            raise ValueError("oversample factor must be >= 1")
+
+    def local_sort_flops(self) -> float:
+        n = self.keys_per_node
+        return COMPARISON_FLOPS * n * math.log2(max(n, 2))
+
+    def sample_bytes(self, p: int) -> int:
+        return self.oversample * p * KEY_BYTES
+
+    def splitter_bytes(self, p: int) -> int:
+        return max(KEY_BYTES, (p - 1) * KEY_BYTES)
+
+    def bucket_bytes(self, p: int) -> int:
+        return max(KEY_BYTES, self.keys_per_node * KEY_BYTES // p)
+
+    def merge_flops(self, p: int) -> float:
+        return COMPARISON_FLOPS * self.keys_per_node * \
+            math.log2(max(p, 2))
+
+
+def samplesort_program(job: SortJob):
+    """Program factory: one parallel sample sort."""
+
+    def program(tracker: PhaseTracker):
+        ctx = tracker.ctx
+        p = ctx.size
+        yield from tracker.timed("comm:sync", ctx.barrier())
+        yield from tracker.compute("compute:local-sort",
+                                   job.local_sort_flops())
+        yield from tracker.timed("comm:sample-gather",
+                                 ctx.gather(job.sample_bytes(p),
+                                            root=0))
+        if ctx.rank == 0:
+            samples = job.oversample * p * p
+            yield from tracker.compute(
+                "compute:sort-samples",
+                COMPARISON_FLOPS * samples * math.log2(max(samples, 2)))
+        yield from tracker.timed("comm:splitter-bcast",
+                                 ctx.bcast(job.splitter_bytes(p),
+                                           root=0))
+        yield from tracker.timed("comm:redistribute",
+                                 ctx.alltoall(job.bucket_bytes(p)))
+        yield from tracker.compute("compute:merge", job.merge_flops(p))
+
+    return program
+
+
+def simulate_samplesort(machine: str, num_nodes: int,
+                        job: SortJob = SortJob(),
+                        seed: int = 0) -> AppResult:
+    """Run one parallel sample sort on a simulated machine."""
+    return run_app("sample sort", machine, num_nodes,
+                   samplesort_program(job), seed=seed)

@@ -1,0 +1,65 @@
+"""Benchmark harness: figure/table regeneration and paper comparison."""
+
+from .compare import (
+    crossover_message_size,
+    monotonically_increasing,
+    ranking,
+    winner,
+)
+from .asciiplot import ascii_plot, plot_figure
+from .diagnostics import RunDiagnostics, collect_diagnostics
+from .export import (
+    figure_to_rows,
+    table3_to_rows,
+    write_figure_csv,
+    write_figure_json,
+    write_table3_csv,
+    write_table3_json,
+)
+from .figures import FigureData, figure1, figure2, figure3, figure4, \
+    figure5
+from .headline import HeadlineCheck, format_headline, headline_checks
+from .tables import Table3Row, format_table3, table3
+from .workload import (
+    FIGURE_OPS,
+    MACHINES,
+    bench_config,
+    bench_machine_sizes,
+    bench_message_sizes,
+    machine_sizes_for,
+)
+
+__all__ = [
+    "FIGURE_OPS",
+    "FigureData",
+    "HeadlineCheck",
+    "MACHINES",
+    "RunDiagnostics",
+    "Table3Row",
+    "ascii_plot",
+    "plot_figure",
+    "collect_diagnostics",
+    "bench_config",
+    "bench_machine_sizes",
+    "bench_message_sizes",
+    "crossover_message_size",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure_to_rows",
+    "table3_to_rows",
+    "write_figure_csv",
+    "write_figure_json",
+    "write_table3_csv",
+    "write_table3_json",
+    "format_headline",
+    "format_table3",
+    "headline_checks",
+    "machine_sizes_for",
+    "monotonically_increasing",
+    "ranking",
+    "table3",
+    "winner",
+]

@@ -1,0 +1,117 @@
+"""ASCII log-log charts for figure data.
+
+The paper's figures are log-log line charts; this renders the
+regenerated series the same way, in a terminal.  It is deliberately
+dependency-free (no matplotlib in the offline environment): a
+character grid with logarithmic axes, one marker per series, and a
+legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot", "plot_figure"]
+
+#: Series markers, assigned in sorted-key order.
+_MARKERS = "ox+*#@%&abcdefgh"
+
+
+def _log_or_linear(values: Sequence[float], log: bool) -> bool:
+    """Fall back to linear when a log axis is impossible."""
+    return log and all(v > 0 for v in values)
+
+
+def _scale(value: float, lo: float, hi: float, log: bool,
+           cells: int) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(fraction * (cells - 1))))
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = math.floor(math.log10(abs(value)))
+    if -2 <= magnitude <= 5:
+        return f"{value:g}"
+    return f"1e{magnitude}"
+
+
+def ascii_plot(series: Mapping[str, Mapping[float, float]],
+               width: int = 64, height: int = 20,
+               log_x: bool = True, log_y: bool = True,
+               title: Optional[str] = None,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render named series as an ASCII chart.
+
+    ``series`` maps a label to ``{x: y}`` points.  Both axes default to
+    log scale (falling back to linear if any coordinate is <= 0).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = [x for points in series.values() for x in points]
+    ys = [y for points in series.values() for y in points.values()]
+    if not xs:
+        raise ValueError("series contain no points")
+    log_x = _log_or_linear(xs, log_x)
+    log_y = _log_or_linear(ys, log_y)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: List[Tuple[str, str]] = []
+    for index, label in enumerate(sorted(series)):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append((marker, label))
+        for x, y in series[label].items():
+            column = _scale(x, x_lo, x_hi, log_x, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, log_y, height)
+            cell = grid[row][column]
+            grid[row][column] = marker if cell in (" ", marker) else "?"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_hi)
+    bottom_tick = _format_tick(y_lo)
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label:>{margin}}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_tick:>{margin}}"
+        elif row_index == height - 1:
+            prefix = f"{bottom_tick:>{margin}}"
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left_tick = _format_tick(x_lo)
+    right_tick = _format_tick(x_hi)
+    gap = width - len(left_tick) - len(right_tick)
+    lines.append(" " * (margin + 1) + left_tick + " " * max(1, gap) +
+                 right_tick)
+    axis_note = []
+    if log_x:
+        axis_note.append("log x")
+    if log_y:
+        axis_note.append("log y")
+    scale_text = f" [{', '.join(axis_note)}]" if axis_note else ""
+    lines.append(" " * (margin + 1) + x_label + scale_text)
+    lines.append("legend: " +
+                 "  ".join(f"{marker}={label}"
+                           for marker, label in legend))
+    return "\n".join(lines)
+
+
+def plot_figure(data, width: int = 64, height: int = 20) -> str:
+    """Render a :class:`~repro.bench.figures.FigureData` as a chart."""
+    series = {"/".join(str(part) for part in key): points
+              for key, points in data.series.items()}
+    return ascii_plot(series, width=width, height=height,
+                      title=f"{data.figure_id}: {data.title}",
+                      x_label="x", y_label=data.unit)

@@ -1,0 +1,59 @@
+"""Shape comparison helpers: who wins, crossovers, scaling classes.
+
+The reproduction's success criterion is *shape*, not absolute numbers:
+the machine that wins each regime, the rough factors, and where
+short/long-message crossovers fall.  These helpers extract those
+qualitative facts from figure data so benches and tests can assert
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["ranking", "winner", "crossover_message_size",
+           "monotonically_increasing"]
+
+
+def ranking(values: Dict[str, float]) -> List[str]:
+    """Keys ordered fastest (smallest value) first."""
+    return sorted(values, key=values.__getitem__)
+
+
+def winner(values: Dict[str, float]) -> str:
+    """The key with the smallest value."""
+    if not values:
+        raise ValueError("no values to rank")
+    return ranking(values)[0]
+
+
+def crossover_message_size(series_a: Dict[int, float],
+                           series_b: Dict[int, float]
+                           ) -> Optional[int]:
+    """Smallest shared x where series a stops being faster than b.
+
+    Returns ``None`` when no sign change occurs over the shared domain
+    (one series dominates throughout).
+    """
+    shared = sorted(set(series_a) & set(series_b))
+    if not shared:
+        raise ValueError("series share no x values")
+    sign = None
+    for x in shared:
+        diff = series_a[x] - series_b[x]
+        if diff == 0:
+            continue
+        current = diff > 0
+        if sign is None:
+            sign = current
+        elif current != sign:
+            return x
+    return None
+
+
+def monotonically_increasing(series: Dict[int, float],
+                             tolerance: float = 0.0) -> bool:
+    """Whether values never decrease (beyond ``tolerance``) as x grows."""
+    xs = sorted(series)
+    return all(series[b] >= series[a] * (1.0 - tolerance)
+               for a, b in zip(xs, xs[1:]))

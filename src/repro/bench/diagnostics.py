@@ -1,0 +1,87 @@
+"""Run diagnostics: where did the time and bytes go?
+
+Collects the hardware counters the simulator maintains (per-link bytes,
+NIC message counts, memory-bus traffic, unexpected-message rate) into a
+single report after a run — the simulator-world equivalent of the
+hardware performance counters a measurement study would consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..mpi import MpiWorld
+from ..core.report import format_table
+
+__all__ = ["RunDiagnostics", "collect_diagnostics"]
+
+
+@dataclass(frozen=True)
+class RunDiagnostics:
+    """Counters aggregated over one :class:`MpiWorld` run."""
+
+    machine: str
+    num_nodes: int
+    messages_delivered: int
+    unexpected_arrivals: int
+    nic_messages_sent: int
+    nic_messages_received: int
+    memory_bytes_copied: int
+    dma_bytes_streamed: int
+    link_bytes: Dict[object, int]
+
+    @property
+    def unexpected_rate(self) -> float:
+        """Fraction of deliveries that arrived before their receive."""
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.unexpected_arrivals / self.messages_delivered
+
+    @property
+    def busiest_links(self) -> List[Tuple[object, int]]:
+        """Links by carried bytes, heaviest first."""
+        return sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
+
+    @property
+    def total_link_bytes(self) -> int:
+        return sum(self.link_bytes.values())
+
+    def format(self, top_links: int = 5) -> str:
+        rows = [
+            ["messages delivered", str(self.messages_delivered)],
+            ["unexpected arrivals",
+             f"{self.unexpected_arrivals} "
+             f"({self.unexpected_rate:.0%})"],
+            ["NIC messages sent/received",
+             f"{self.nic_messages_sent}/{self.nic_messages_received}"],
+            ["memory-bus bytes copied", str(self.memory_bytes_copied)],
+            ["DMA bytes streamed", str(self.dma_bytes_streamed)],
+            ["total link byte-hops", str(self.total_link_bytes)],
+        ]
+        for link, nbytes in self.busiest_links[:top_links]:
+            rows.append([f"  link {link}", str(nbytes)])
+        return format_table(
+            ["counter", "value"], rows,
+            title=f"diagnostics: {self.machine}, {self.num_nodes} nodes")
+
+
+def collect_diagnostics(world: MpiWorld) -> RunDiagnostics:
+    """Snapshot a world's hardware counters (call after running)."""
+    machine = world.machine
+    return RunDiagnostics(
+        machine=world.spec.name,
+        num_nodes=machine.num_nodes,
+        messages_delivered=world.comm.transport.messages_delivered,
+        unexpected_arrivals=world.comm.transport.unexpected_arrivals,
+        nic_messages_sent=sum(n.nic.messages_sent
+                              for n in machine.nodes),
+        nic_messages_received=sum(n.nic.messages_received
+                                  for n in machine.nodes),
+        memory_bytes_copied=sum(n.memory.bytes_copied
+                                for n in machine.nodes),
+        dma_bytes_streamed=sum(n.dma.bytes_streamed
+                               for n in machine.nodes
+                               if n.dma is not None),
+        link_bytes=dict(machine.fabric.utilisation()),
+    )

@@ -1,0 +1,169 @@
+"""Regeneration of the paper's Figures 1-5.
+
+Each ``figureN`` function runs the necessary measurements on the
+simulator and returns a :class:`FigureData` whose series mirror the
+corresponding figure's curves; ``format()`` renders them as text the
+way the benches print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core import (
+    MeasurementConfig,
+    estimate_rinf_two_point,
+    measure_collective,
+    measure_startup_latency,
+)
+from ..core.report import format_series
+from .workload import (
+    FIGURE_OPS,
+    MACHINES,
+    bench_config,
+    bench_machine_sizes,
+    bench_message_sizes,
+)
+
+__all__ = ["FigureData", "figure1", "figure2", "figure3", "figure4",
+           "figure5"]
+
+#: Figure 2 and 4 are drawn at 32 nodes; Figure 4 at 1 KB messages.
+FIGURE2_NODES = 32
+FIGURE4_NODES = 32
+FIGURE4_BYTES = 1024
+#: Figure 3 contrasts short (16 B) and long (64 KB) messages.
+FIGURE3_SHORT = 16
+FIGURE3_LONG = 65536
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: named series of (x -> value) points."""
+
+    figure_id: str
+    title: str
+    unit: str
+    #: series key is ``(op, machine)`` or ``(op, machine, variant)``.
+    series: Dict[Tuple[str, ...], Dict[int, float]] = \
+        field(default_factory=dict)
+
+    def add(self, key: Tuple[str, ...], x: int, value: float) -> None:
+        self.series.setdefault(key, {})[x] = value
+
+    def get(self, *key: str) -> Dict[int, float]:
+        """Series lookup by key components."""
+        return self.series[tuple(key)]
+
+    def format(self) -> str:
+        lines = [f"{self.figure_id}: {self.title}"]
+        for key in sorted(self.series):
+            lines.append(format_series("/".join(map(str, key)),
+                                       self.series[key], unit=self.unit))
+        return "\n".join(lines)
+
+
+def figure1(config: Optional[MeasurementConfig] = None,
+            ops: Tuple[str, ...] = FIGURE_OPS) -> FigureData:
+    """Figure 1: startup latencies T0(p) of six collectives."""
+    config = config or bench_config()
+    data = FigureData("Figure 1", "startup latency T0(p), 4-byte probe",
+                      "us")
+    for op in ops:
+        for machine in MACHINES:
+            for p in bench_machine_sizes(machine):
+                sample = measure_startup_latency(machine, op, p, config)
+                data.add((op, machine), p, sample.time_us)
+    return data
+
+
+def figure2(config: Optional[MeasurementConfig] = None,
+            ops: Tuple[str, ...] = FIGURE_OPS) -> FigureData:
+    """Figure 2: T(m, 32) as a function of message length."""
+    config = config or bench_config()
+    data = FigureData("Figure 2",
+                      f"collective messaging time T(m, {FIGURE2_NODES})",
+                      "us")
+    for op in ops:
+        for machine in MACHINES:
+            for m in bench_message_sizes():
+                sample = measure_collective(machine, op, m,
+                                            FIGURE2_NODES, config)
+                data.add((op, machine), m, sample.time_us)
+    return data
+
+
+def figure3(config: Optional[MeasurementConfig] = None) -> FigureData:
+    """Figure 3: T(m, p) vs machine size for short and long messages.
+
+    Seven panels: the six Figure-1 operations plus the barrier (short
+    probe only — the barrier carries no payload).
+    """
+    config = config or bench_config()
+    data = FigureData(
+        "Figure 3",
+        f"T(m, p) for short ({FIGURE3_SHORT} B) and long "
+        f"({FIGURE3_LONG} B) messages", "us")
+    for op in FIGURE_OPS:
+        for machine in MACHINES:
+            for p in bench_machine_sizes(machine):
+                short = measure_collective(machine, op, FIGURE3_SHORT, p,
+                                           config)
+                data.add((op, machine, "short"), p, short.time_us)
+                long_ = measure_collective(machine, op, FIGURE3_LONG, p,
+                                           config)
+                data.add((op, machine, "long"), p, long_.time_us)
+    for machine in MACHINES:  # panel (g): barrier
+        for p in bench_machine_sizes(machine):
+            sample = measure_collective(machine, "barrier", 0, p, config)
+            data.add(("barrier", machine, "short"), p, sample.time_us)
+    return data
+
+
+def figure4(config: Optional[MeasurementConfig] = None) -> FigureData:
+    """Figure 4: startup/transmission breakdown at p=32, m=1 KB.
+
+    Two series per (op, machine): the startup latency (4-byte probe)
+    and the transmission delay (total minus startup).
+    """
+    config = config or bench_config()
+    data = FigureData(
+        "Figure 4",
+        f"timing breakdown at p={FIGURE4_NODES}, m={FIGURE4_BYTES} B",
+        "us")
+    for op in FIGURE_OPS:
+        for machine in MACHINES:
+            startup = measure_startup_latency(machine, op,
+                                              FIGURE4_NODES, config)
+            total = measure_collective(machine, op, FIGURE4_BYTES,
+                                       FIGURE4_NODES, config)
+            delay = max(total.time_us - startup.time_us, 0.0)
+            data.add((op, machine, "startup"), FIGURE4_NODES,
+                     startup.time_us)
+            data.add((op, machine, "transmission"), FIGURE4_NODES, delay)
+    return data
+
+
+def figure5(config: Optional[MeasurementConfig] = None,
+            probe_sizes: Tuple[int, int] = (16384, 65536)) -> FigureData:
+    """Figure 5: aggregated bandwidth Rinf(p) per collective.
+
+    Estimated from the marginal per-byte cost between two long
+    messages (paper Eq. 4), per machine size.
+    """
+    config = config or bench_config()
+    data = FigureData("Figure 5", "aggregated bandwidth Rinf(p)",
+                      "MB/s")
+    m_small, m_large = probe_sizes
+    for op in FIGURE_OPS:
+        for machine in MACHINES:
+            for p in bench_machine_sizes(machine):
+                samples = {
+                    m: measure_collective(machine, op, m, p,
+                                          config).time_us
+                    for m in (m_small, m_large)
+                }
+                data.add((op, machine), p,
+                         estimate_rinf_two_point(op, p, samples))
+    return data

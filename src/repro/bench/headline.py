@@ -1,0 +1,107 @@
+"""Checks of the paper's headline numeric claims against the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core import (
+    HEADLINE,
+    MeasurementConfig,
+    estimate_rinf_two_point,
+    measure_collective,
+    measure_startup_latency,
+)
+from ..core.report import format_table
+from .workload import bench_config
+
+__all__ = ["HeadlineCheck", "headline_checks", "format_headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineCheck:
+    """One headline claim: the paper's value vs the simulator's."""
+
+    claim: str
+    paper_value: float
+    simulated_value: float
+    unit: str
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("nan")
+        return self.simulated_value / self.paper_value
+
+    def within(self, factor: float) -> bool:
+        """Whether sim and paper agree within a multiplicative factor."""
+        if self.paper_value <= 0 or self.simulated_value <= 0:
+            return False
+        return 1.0 / factor <= self.ratio <= factor
+
+
+def headline_checks(config: Optional[MeasurementConfig] = None
+                    ) -> List[HeadlineCheck]:
+    """Run every headline measurement and pair it with the paper value."""
+    config = config or bench_config()
+    checks: List[HeadlineCheck] = []
+
+    # T3D hardwired barrier ~3 us, >= 30x faster than SP2/Paragon.
+    barrier = {m: measure_collective(m, "barrier", 0, 64, config).time_us
+               for m in ("t3d", "sp2", "paragon")}
+    checks.append(HeadlineCheck(
+        "T3D 64-node barrier", HEADLINE["t3d_barrier_us"],
+        barrier["t3d"], "us"))
+    checks.append(HeadlineCheck(
+        "barrier speedup T3D vs best of SP2/Paragon (min 30x)",
+        HEADLINE["t3d_barrier_speedup_min"],
+        min(barrier["sp2"], barrier["paragon"]) / barrier["t3d"], "x"))
+
+    # T3D broadcast to two nodes ~35 us.
+    two_node = measure_startup_latency("t3d", "broadcast", 2, config)
+    checks.append(HeadlineCheck(
+        "T3D 2-node broadcast latency",
+        HEADLINE["t3d_broadcast_2node_us"], two_node.time_us, "us"))
+
+    # T3D 64-node startup latencies for six collectives.
+    for op, value in HEADLINE["t3d_startup_64_us"].items():
+        sample = measure_startup_latency("t3d", op, 64, config)
+        checks.append(HeadlineCheck(
+            f"T3D 64-node {op} startup", value, sample.time_us, "us"))
+
+    # 64-node total exchange aggregated bandwidths (GB/s).
+    for machine, gbs in HEADLINE["alltoall_rinf_64_gbs"].items():
+        samples = {m: measure_collective(machine, "alltoall", m, 64,
+                                         config).time_us
+                   for m in (16384, 65536)}
+        rinf = estimate_rinf_two_point("alltoall", 64, samples) / 1024.0
+        checks.append(HeadlineCheck(
+            f"{machine} 64-node alltoall Rinf", gbs, rinf, "GB/s"))
+
+    # SP2 64-node 64-KB total exchange ~317 ms.
+    sp2 = measure_collective("sp2", "alltoall", 65536, 64, config)
+    checks.append(HeadlineCheck(
+        "SP2 64-node 64KB alltoall", HEADLINE["sp2_alltoall_64x64k_ms"],
+        sp2.time_us / 1000.0, "ms"))
+
+    # All 64-KB 64-node collectives complete within (5.12 ms, 675 ms).
+    lo, hi = HEADLINE["range_64x64k_ms"]
+    times_ms = [
+        measure_collective(m, op, 65536, 64, config).time_us / 1000.0
+        for m in ("sp2", "t3d", "paragon")
+        for op in ("broadcast", "alltoall", "scatter", "gather", "scan",
+                   "reduce")
+    ]
+    checks.append(HeadlineCheck("fastest 64-node 64KB collective", lo,
+                                min(times_ms), "ms"))
+    checks.append(HeadlineCheck("slowest 64-node 64KB collective", hi,
+                                max(times_ms), "ms"))
+    return checks
+
+
+def format_headline(checks: List[HeadlineCheck]) -> str:
+    rows = [[c.claim, f"{c.paper_value:.4g} {c.unit}",
+             f"{c.simulated_value:.4g} {c.unit}", f"{c.ratio:.2f}x"]
+            for c in checks]
+    return format_table(["claim", "paper", "simulated", "ratio"], rows,
+                        title="Headline claims (paper vs simulator)")

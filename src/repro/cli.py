@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Examples::
+
+    repro-bench figure 1                # startup latencies
+    repro-bench figure 3 --fast         # coarse grid
+    repro-bench table3
+    repro-bench headline
+    repro-bench measure sp2 alltoall --bytes 65536 --nodes 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .bench import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    format_headline,
+    format_table3,
+    headline_checks,
+    table3,
+)
+from .core import QUICK_CONFIG, MeasurementConfig, measure_collective
+from .core.report import format_us
+
+__all__ = ["main"]
+
+_FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate figures/tables from 'Evaluating MPI "
+                    "Collective Communication on the SP2, T3D, and "
+                    "Paragon Multicomputers' (HPCA 1997) on the "
+                    "simulator.")
+    parser.add_argument("--fast", action="store_true",
+                        help="coarse grids and single runs "
+                             "(sets REPRO_BENCH_FAST=1)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate Figure 1-5")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument("--csv", metavar="PATH",
+                        help="also write the series to a CSV file")
+    figure.add_argument("--json", metavar="PATH",
+                        help="also write the series to a JSON file")
+    figure.add_argument("--plot", action="store_true",
+                        help="render the series as an ASCII log-log "
+                             "chart")
+
+    sub.add_parser("table3", help="regenerate Table 3 (curve fits)")
+    sub.add_parser("headline", help="check the headline claims")
+
+    measure = sub.add_parser("measure",
+                             help="measure one (machine, op, m, p) point")
+    measure.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    measure.add_argument("op")
+    measure.add_argument("--bytes", type=int, default=1024)
+    measure.add_argument("--nodes", type=int, default=32)
+    measure.add_argument("--iterations", type=int,
+                         default=QUICK_CONFIG.iterations)
+    measure.add_argument("--runs", type=int, default=QUICK_CONFIG.runs)
+    measure.add_argument("--seed", type=int, default=QUICK_CONFIG.seed)
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="which machine parameter dominates one (op, m, p) point")
+    sensitivity.add_argument("machine",
+                             choices=["sp2", "t3d", "paragon"])
+    sensitivity.add_argument("op")
+    sensitivity.add_argument("--bytes", type=int, default=1024)
+    sensitivity.add_argument("--nodes", type=int, default=32)
+    sensitivity.add_argument("--top", type=int, default=8)
+
+    apps = sub.add_parser(
+        "app", help="run an application kernel with phase breakdown")
+    apps.add_argument("name", choices=["stap", "fft2d", "samplesort"])
+    apps.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    apps.add_argument("--nodes", type=int, default=16)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.fast:
+        os.environ["REPRO_BENCH_FAST"] = "1"
+
+    if args.command == "figure":
+        data = _FIGURES[args.number]()
+        print(data.format())
+        if args.plot:
+            from .bench import plot_figure
+            print()
+            print(plot_figure(data))
+        if args.csv:
+            from .bench import write_figure_csv
+            print(f"wrote {write_figure_csv(data, args.csv)}")
+        if args.json:
+            from .bench import write_figure_json
+            print(f"wrote {write_figure_json(data, args.json)}")
+    elif args.command == "table3":
+        print(format_table3(table3()))
+    elif args.command == "headline":
+        print(format_headline(headline_checks()))
+    elif args.command == "measure":
+        config = MeasurementConfig(iterations=args.iterations,
+                                   warmup_iterations=1, runs=args.runs,
+                                   seed=args.seed)
+        sample = measure_collective(args.machine, args.op, args.bytes,
+                                    args.nodes, config)
+        print(f"T({args.bytes} B, {args.nodes} nodes) on "
+              f"{args.machine} {args.op}: {format_us(sample.time_us)}")
+        print(f"  per-process min/mean/max: "
+              f"{format_us(sample.process_min_us)} / "
+              f"{format_us(sample.process_mean_us)} / "
+              f"{format_us(sample.process_max_us)}")
+        print(f"  runs: {[round(t, 1) for t in sample.run_times_us]}")
+    elif args.command == "sensitivity":
+        from .core import format_sensitivities, scan_sensitivities
+        from .machines import get_machine_spec
+        results = scan_sensitivities(get_machine_spec(args.machine),
+                                     args.op, args.bytes, args.nodes)
+        print(format_sensitivities(results, top=args.top))
+    elif args.command == "app":
+        from .apps import simulate_fft2d, simulate_samplesort, \
+            simulate_stap
+        runner = {"stap": simulate_stap, "fft2d": simulate_fft2d,
+                  "samplesort": simulate_samplesort}[args.name]
+        print(runner(args.machine, args.nodes).format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Closed-form analytic predictor: T(m, p) from a machine spec.
+
+The paper's companion work (Xu & Hwang, "Early Prediction of MPP
+Performance") predicts collective times from a handful of measured
+machine parameters instead of running the operation.  This module does
+the same against our :class:`~repro.machines.MachineSpec`: it composes
+per-message cost primitives (software overheads, copies, NIC/link
+serialization) along each algorithm's critical path, without any
+simulation.
+
+The predictor intentionally ignores second-order effects the simulator
+captures (link contention, engine queueing between unrelated messages,
+jitter, clock skew), so it is a *lower-bound-flavoured* estimate.  The
+test suite and the model-validation bench compare it against simulated
+measurements: agreement within tens of percent for latency-dominated
+points, degrading where contention matters (large total exchanges).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machines import MachineSpec
+
+__all__ = ["AnalyticModel", "predict_time_us"]
+
+
+def _log2_ceil(p: int) -> int:
+    return max(1, math.ceil(math.log2(p)))
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Closed-form predictor for one machine."""
+
+    spec: MachineSpec
+
+    # -- cost primitives ------------------------------------------------------
+    def _nic_us_per_byte(self, fast: bool) -> float:
+        bandwidth = self.spec.nic.fast_bandwidth_mbs if fast else None
+        if bandwidth is None:
+            bandwidth = self.spec.nic.bandwidth_mbs
+        return 1.0 / (bandwidth * 1.048576)
+
+    def _link_us_per_byte(self) -> float:
+        return 1.0 / (self.spec.network.link_bandwidth_mbs * 1.048576)
+
+    def _dma_send(self, op: str, nbytes: int) -> bool:
+        return (self.spec.uses_dma_for(op) and self.spec.dma is not None
+                and nbytes >= self.spec.dma.min_message_bytes)
+
+    def _send_local_us(self, op: str, nbytes: int,
+                       buffered: bool = False) -> float:
+        """Sender CPU + payload-move cost (what blocks the send loop)."""
+        software = self.spec.software
+        cost = software.send_msg_us
+        if buffered:
+            cost += software.buffered_msg_us
+            cost += 2 * nbytes * self.spec.memory.copy_us_per_byte
+        if self._dma_send(op, nbytes):
+            assert self.spec.dma is not None
+            cost += self.spec.dma.setup_us + \
+                nbytes * self.spec.dma.us_per_byte
+        return cost
+
+    def _recv_local_us(self, nbytes: int, buffered: bool = False) -> float:
+        software = self.spec.software
+        cost = software.recv_msg_us
+        if buffered:
+            cost += software.buffered_msg_us
+            cost += 2 * nbytes * self.spec.memory.copy_us_per_byte
+        return cost
+
+    def _wire_us(self, op: str, nbytes: int, hops: float) -> float:
+        """In-flight time: the slowest of NIC and network serialization
+        plus header routing and kernel dispatch."""
+        fast = self._dma_send(op, nbytes)
+        serialization = nbytes * max(self._nic_us_per_byte(fast),
+                                     self._link_us_per_byte())
+        return (self.spec.nic.per_message_us + serialization +
+                hops * self.spec.network.hop_latency_us +
+                self.spec.software.deliver_us)
+
+    def _average_hops(self, p: int) -> float:
+        return self.spec.network.build_topology(p).average_distance()
+
+    def one_way_us(self, nbytes: int, p: int, op: str = "ptp") -> float:
+        """End-to-end latency of one point-to-point message."""
+        return (self._send_local_us(op, nbytes) +
+                self._wire_us(op, nbytes, self._average_hops(p)) +
+                self._recv_local_us(nbytes))
+
+    # -- collectives ------------------------------------------------------------
+    def predict(self, op: str, nbytes: int, p: int) -> float:
+        """Predicted ``T(m, p)`` in microseconds (no simulation)."""
+        if p < 2:
+            raise ValueError(f"need at least 2 nodes, got {p}")
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        handler = getattr(self, f"_predict_{op}", None)
+        if handler is None:
+            raise ValueError(f"analytic model has no formula for {op!r}")
+        return self.spec.software.call_setup_us + handler(nbytes, p)
+
+    def _predict_barrier(self, nbytes: int, p: int) -> float:
+        software = self.spec.software
+        if self.spec.barrier_wire is not None:
+            wire = self.spec.barrier_wire
+            base = wire.base_us + wire.per_level_us * math.log2(p)
+            setup = software.barrier_call_setup_us or 0.0
+            return base + setup - software.call_setup_us
+        return 2 * _log2_ceil(p) * self.one_way_us(0, p, "barrier")
+
+    def _predict_broadcast(self, nbytes: int, p: int) -> float:
+        return _log2_ceil(p) * self.one_way_us(nbytes, p, "broadcast")
+
+    def _predict_reduce(self, nbytes: int, p: int) -> float:
+        software = self.spec.software
+        combine = software.reduce_round_us + \
+            nbytes * software.reduce_us_per_byte
+        per_round = self.one_way_us(nbytes, p, "reduce") + combine
+        rounds = _log2_ceil(p)
+        if self.spec.algorithm_for("reduce") == "binary_tree_reduce":
+            # Interior nodes retire two children per level.
+            per_round += self._recv_local_us(nbytes) + combine
+        return rounds * per_round
+
+    def _predict_scan(self, nbytes: int, p: int) -> float:
+        software = self.spec.software
+        rounds = _log2_ceil(p)
+        if self.spec.algorithm_for("scan") == "offloaded_scan" and \
+                software.offload_round_us is not None:
+            per_round = (software.offload_round_us +
+                         nbytes * (software.offload_us_per_byte or 0.0) +
+                         self._wire_us("scan", nbytes,
+                                       self._average_hops(p)))
+            return software.offload_setup_us + rounds * per_round
+        combine = software.reduce_round_us + \
+            nbytes * software.reduce_us_per_byte
+        return rounds * (self.one_way_us(nbytes, p, "scan") + combine)
+
+    def _predict_scatter(self, nbytes: int, p: int) -> float:
+        # Root issues p-1 pipelined sends; the last message's tail
+        # latency follows.  The steady-state rate is the slower of the
+        # root's local loop and the NIC serialization.
+        fast = self._dma_send("scatter", nbytes)
+        per_message = max(
+            self._send_local_us("scatter", nbytes),
+            self.spec.nic.per_message_us +
+            nbytes * self._nic_us_per_byte(fast))
+        tail = self._wire_us("scatter", nbytes, self._average_hops(p)) + \
+            self._recv_local_us(nbytes)
+        return (p - 1) * per_message + tail
+
+    def _predict_gather(self, nbytes: int, p: int) -> float:
+        # Leaves send concurrently; the root's receive engine and CPU
+        # drain p-1 messages back to back.
+        fast = self._dma_send("gather", nbytes)
+        per_message = max(
+            self._recv_local_us(nbytes),
+            self.spec.nic.per_message_us +
+            nbytes * self._nic_us_per_byte(fast))
+        first_arrival = self._send_local_us("gather", nbytes) + \
+            self._wire_us("gather", nbytes, self._average_hops(p))
+        return first_arrival + (p - 1) * per_message
+
+    def _predict_alltoall(self, nbytes: int, p: int) -> float:
+        # Every node sends and receives p-1 buffered messages; the
+        # per-node work is the bound (posted algorithm), plus the NX
+        # unexpected handling for the sequential scheme.
+        software = self.spec.software
+        per_round = (self._send_local_us("alltoall", nbytes,
+                                         buffered=True) +
+                     self._recv_local_us(nbytes, buffered=True))
+        if self.spec.algorithm_for("alltoall") == "sequential_alltoall":
+            per_round += software.unexpected_us
+        nic_round = nbytes * self._nic_us_per_byte(False) * \
+            (2.0 if self.spec.nic.half_duplex else 1.0)
+        tail = self._wire_us("alltoall", nbytes, self._average_hops(p))
+        return (p - 1) * max(per_round, nic_round) + tail
+
+    def _predict_allreduce(self, nbytes: int, p: int) -> float:
+        return self._predict_reduce(nbytes, p) + \
+            self._predict_broadcast(nbytes, p)
+
+    def _predict_allgather(self, nbytes: int, p: int) -> float:
+        return self._predict_gather(nbytes, p) + \
+            self._predict_broadcast(nbytes * p, p)
+
+    def _predict_reduce_scatter(self, nbytes: int, p: int) -> float:
+        return self._predict_reduce(nbytes * p, p) + \
+            self._predict_scatter(nbytes, p)
+
+
+def predict_time_us(spec: MachineSpec, op: str, nbytes: int,
+                    p: int) -> float:
+    """Convenience wrapper over :class:`AnalyticModel`."""
+    return AnalyticModel(spec).predict(op, nbytes, p)

@@ -1,0 +1,62 @@
+"""Aggregated-bandwidth derivations (paper Eqs. 2-4).
+
+``R(m, p) = f(m, p) / D(m, p)`` is the aggregated bandwidth at a finite
+message length; ``Rinf(p)`` its long-message limit.  The paper derives
+``Rinf`` from the fitted per-byte term (Eq. 4); this module also offers
+a direct two-point numerical estimate from measurements, used to
+cross-check the fits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .expressions import TimingExpression
+from .metrics import aggregated_message_length
+
+__all__ = [
+    "aggregated_bandwidth_mbs",
+    "estimate_rinf_two_point",
+    "rinf_from_expression",
+]
+
+
+def aggregated_bandwidth_mbs(op: str, nbytes: int, num_nodes: int,
+                             total_time_us: float,
+                             startup_us: float = 0.0) -> float:
+    """``R(m, p)`` in MByte/s from one measured time.
+
+    ``total_time_us`` is ``T(m, p)``; the startup estimate is removed
+    to leave the transmission delay ``D``.
+    """
+    delay = total_time_us - startup_us
+    if delay <= 0:
+        return float("inf")
+    payload = aggregated_message_length(op, nbytes, num_nodes)
+    return (payload / delay) / 1.048576
+
+
+def estimate_rinf_two_point(op: str, num_nodes: int,
+                            samples: Mapping[int, float]) -> float:
+    """``Rinf(p)`` from two (or more) long-message measurements.
+
+    ``samples`` maps message length (bytes) to measured ``T(m, p)``
+    (us).  The two largest lengths give the marginal per-byte cost
+    ``dT/dm = dD/dm``; ``Rinf = (f/m) / (dD/dm)``.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two message lengths")
+    m_small, m_large = sorted(samples)[-2:]
+    dt = samples[m_large] - samples[m_small]
+    dm = m_large - m_small
+    if dt <= 0:
+        return float("inf")
+    per_byte = dt / dm
+    factor = aggregated_message_length(op, 1, num_nodes)
+    return (factor / per_byte) / 1.048576
+
+
+def rinf_from_expression(expression: TimingExpression,
+                         num_nodes: int) -> float:
+    """``Rinf(p)`` from a fitted expression (paper Eq. 4)."""
+    return expression.aggregated_bandwidth_mbs(num_nodes)

@@ -1,0 +1,105 @@
+"""Closed-form timing expressions in the paper's Table 3 shape.
+
+Every expression has the form::
+
+    T(m, p) = A(p) + B(p) * m
+
+where each of ``A`` (startup latency, us) and ``B`` (per-byte
+transmission cost, us/byte) is either ``coef * log2(p) + const`` or
+``coef * p + const`` — the two scaling classes the paper observes
+(tree-structured vs stage-per-node collectives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .metrics import aggregated_length_factor
+
+__all__ = ["Term", "TimingExpression", "LOG_FORM", "LINEAR_FORM",
+           "CONST_FORM"]
+
+LOG_FORM = "log2"
+LINEAR_FORM = "linear"
+CONST_FORM = "const"
+
+_FORMS = (LOG_FORM, LINEAR_FORM, CONST_FORM)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One fitted term ``coef * g(p) + const``."""
+
+    form: str
+    coef: float
+    const: float
+    r_squared: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.form not in _FORMS:
+            raise ValueError(f"unknown term form {self.form!r}; "
+                             f"expected one of {_FORMS}")
+
+    def evaluate(self, p: int) -> float:
+        """Value of the term at machine size ``p``."""
+        if p < 1:
+            raise ValueError(f"machine size must be >= 1, got {p}")
+        if self.form == LOG_FORM:
+            return self.coef * math.log2(p) + self.const
+        if self.form == LINEAR_FORM:
+            return self.coef * p + self.const
+        return self.const
+
+    def format(self, variable: str = "p",
+               precision: int = 3) -> str:
+        """Human-readable rendering, e.g. ``24 p + 90``."""
+        if self.form == CONST_FORM:
+            return f"{self.const:.{precision}g}"
+        basis = f"log {variable}" if self.form == LOG_FORM else variable
+        sign = "+" if self.const >= 0 else "-"
+        return (f"{self.coef:.{precision}g} {basis} "
+                f"{sign} {abs(self.const):.{precision}g}")
+
+
+@dataclass(frozen=True)
+class TimingExpression:
+    """``T(m, p) = startup(p) + per_byte(p) * m`` for one (machine, op)."""
+
+    machine: str
+    op: str
+    startup: Term
+    per_byte: Term
+
+    def evaluate(self, nbytes: float, p: int) -> float:
+        """Predicted collective messaging time in microseconds."""
+        return self.startup.evaluate(p) + self.per_byte.evaluate(p) * nbytes
+
+    def startup_latency_us(self, p: int) -> float:
+        """``T0(p)`` in microseconds."""
+        return self.startup.evaluate(p)
+
+    def transmission_delay_us(self, nbytes: float, p: int) -> float:
+        """``D(m, p)`` in microseconds."""
+        return self.per_byte.evaluate(p) * nbytes
+
+    def aggregated_bandwidth_mbs(self, p: int) -> float:
+        """``Rinf(p)`` in MByte/s (paper Eq. 4).
+
+        ``Rinf = f(m, p) / (m * dD/dm) = (f/m) / B(p)``, converted from
+        bytes/us to MByte/s.  Infinite for the barrier (no payload) and
+        for non-positive fitted per-byte terms.
+        """
+        factor = aggregated_length_factor(self.op, p)
+        per_byte = self.per_byte.evaluate(p)
+        if factor == 0 or per_byte <= 0:
+            return float("inf")
+        return (factor / per_byte) / 1.048576
+
+    def format(self) -> str:
+        """Table-3-style rendering, e.g.
+        ``(24 p + 90) + (0.082 p - 0.29) m``."""
+        if self.op == "barrier":
+            return self.startup.format()
+        return f"({self.startup.format()}) + ({self.per_byte.format()}) m"

@@ -1,0 +1,131 @@
+"""Curve fitting of measured collective times to Table 3's forms.
+
+The paper derives its closed forms "by a curve-fitting method": for
+each machine size ``p``, ``T(m, p)`` is linear in ``m`` (intercept =
+startup latency, slope = per-byte transmission cost); the intercepts
+and slopes are then each fitted against ``p`` in whichever of the two
+observed scaling classes — ``a log2 p + b`` or ``a p + b`` — fits
+better.  This module reproduces that pipeline with ordinary least
+squares and model selection by residual sum of squares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .expressions import CONST_FORM, LINEAR_FORM, LOG_FORM, Term, \
+    TimingExpression
+
+__all__ = [
+    "fit_line",
+    "fit_term",
+    "fit_message_length_slices",
+    "fit_timing_expression",
+    "classify_scaling",
+]
+
+
+def fit_line(x: Sequence[float],
+             y: Sequence[float]) -> Tuple[float, float, float]:
+    """Ordinary least squares ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept, r_squared)``.  With fewer than two
+    distinct x values the slope is zero and the intercept the mean.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) == 0:
+        raise ValueError("cannot fit an empty dataset")
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if len(xs) < 2 or np.allclose(xs, xs[0]):
+        return 0.0, float(np.mean(ys)), 1.0 if np.allclose(
+            ys, ys[0]) else 0.0
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predicted = slope * xs + intercept
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - np.mean(ys)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(slope), float(intercept), r_squared
+
+
+def _sse(xs: np.ndarray, ys: np.ndarray, slope: float,
+         intercept: float) -> float:
+    predicted = slope * xs + intercept
+    return float(np.sum((ys - predicted) ** 2))
+
+
+def fit_term(machine_sizes: Sequence[int],
+             values: Sequence[float]) -> Term:
+    """Fit ``values(p)`` to the better of ``a log2 p + b`` / ``a p + b``."""
+    if len(machine_sizes) != len(values):
+        raise ValueError("machine_sizes and values must align")
+    if any(p < 1 for p in machine_sizes):
+        raise ValueError("machine sizes must be >= 1")
+    if len(set(machine_sizes)) < 2:
+        return Term(CONST_FORM, 0.0, float(np.mean(values)), None)
+    ps = np.asarray(machine_sizes, dtype=float)
+    ys = np.asarray(values, dtype=float)
+    logs = np.log2(ps)
+    candidates = []
+    for form, xs in ((LOG_FORM, logs), (LINEAR_FORM, ps)):
+        slope, intercept, r2 = fit_line(xs, ys)
+        candidates.append((_sse(xs, ys, slope, intercept),
+                           Term(form, slope, intercept, r2)))
+    candidates.sort(key=lambda item: item[0])
+    return candidates[0][1]
+
+
+def classify_scaling(machine_sizes: Sequence[int],
+                     values: Sequence[float]) -> str:
+    """The scaling class (``log2`` or ``linear``) that fits best."""
+    return fit_term(machine_sizes, values).form
+
+
+def fit_message_length_slices(
+    samples: Mapping[int, Mapping[int, float]],
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Per-``p`` linear fits of ``T(m, p)`` over ``m``.
+
+    ``samples`` maps ``p -> {m -> time_us}``.  Returns two dicts:
+    ``p -> intercept`` (startup estimate) and ``p -> slope``
+    (us per byte).
+    """
+    intercepts: Dict[int, float] = {}
+    slopes: Dict[int, float] = {}
+    for p, by_m in samples.items():
+        ms = sorted(by_m)
+        ys = [by_m[m] for m in ms]
+        slope, intercept, _ = fit_line([float(m) for m in ms], ys)
+        intercepts[p] = intercept
+        slopes[p] = slope
+    return intercepts, slopes
+
+
+def fit_timing_expression(machine: str, op: str,
+                          samples: Mapping[int, Mapping[int, float]]
+                          ) -> TimingExpression:
+    """The paper's two-stage fit: slices over ``m``, then forms over ``p``.
+
+    ``samples`` maps ``p -> {m -> measured T(m, p) in us}``.  The
+    barrier (no payload) gets a constant-zero per-byte term and its
+    startup fitted directly to the measured times.
+    """
+    if not samples:
+        raise ValueError("no samples to fit")
+    if op == "barrier":
+        ps = sorted(samples)
+        times = [next(iter(samples[p].values())) for p in ps]
+        return TimingExpression(machine, op,
+                                startup=fit_term(ps, times),
+                                per_byte=Term(CONST_FORM, 0.0, 0.0, None))
+    intercepts, slopes = fit_message_length_slices(samples)
+    ps = sorted(intercepts)
+    startup = fit_term(ps, [intercepts[p] for p in ps])
+    per_byte = fit_term(ps, [slopes[p] for p in ps])
+    return TimingExpression(machine, op, startup=startup,
+                            per_byte=per_byte)

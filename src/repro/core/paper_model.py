@@ -1,0 +1,144 @@
+"""The paper's published results, transcribed for comparison.
+
+Table 3's twenty-one curve-fitted timing expressions (seven collectives
+by three machines), the headline numeric claims of the abstract and
+Sections 4-8, and the reported raw hardware characteristics.  The bench
+harness compares the simulator's independently fitted expressions and
+measurements against these.
+
+All formulas are ``T(m, p)`` in microseconds with ``m`` in bytes;
+``log`` is base 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .expressions import CONST_FORM, LINEAR_FORM, LOG_FORM, Term, \
+    TimingExpression
+
+__all__ = [
+    "PAPER_TABLE3",
+    "paper_expression",
+    "HEADLINE",
+    "RAW_HARDWARE",
+]
+
+
+def _expr(machine: str, op: str, startup: Term,
+          per_byte: Term) -> TimingExpression:
+    return TimingExpression(machine, op, startup, per_byte)
+
+
+def _log(coef: float, const: float) -> Term:
+    return Term(LOG_FORM, coef, const)
+
+
+def _lin(coef: float, const: float) -> Term:
+    return Term(LINEAR_FORM, coef, const)
+
+
+_ZERO = Term(CONST_FORM, 0.0, 0.0)
+
+#: Table 3, transcribed row by row.
+PAPER_TABLE3: Dict[Tuple[str, str], TimingExpression] = {
+    # --- barrier ---------------------------------------------------------
+    ("sp2", "barrier"): _expr("sp2", "barrier", _log(123.0, -90.0), _ZERO),
+    ("t3d", "barrier"): _expr("t3d", "barrier", _log(0.011, 3.0), _ZERO),
+    ("paragon", "barrier"): _expr("paragon", "barrier",
+                                  _log(147.0, -66.0), _ZERO),
+    # --- broadcast ---------------------------------------------------------
+    ("sp2", "broadcast"): _expr("sp2", "broadcast", _log(55.0, 30.0),
+                                _log(0.014, 0.053)),
+    ("t3d", "broadcast"): _expr("t3d", "broadcast", _log(23.0, 12.0),
+                                _log(0.013, -0.0071)),
+    ("paragon", "broadcast"): _expr("paragon", "broadcast",
+                                    _log(52.0, 15.0), _log(0.019, -0.022)),
+    # --- scan --------------------------------------------------------------
+    ("sp2", "scan"): _expr("sp2", "scan", _log(100.0, -43.0),
+                           _lin(0.0010, 0.23)),
+    ("t3d", "scan"): _expr("t3d", "scan", _log(28.0, 41.0),
+                           _lin(0.0046, 0.12)),
+    ("paragon", "scan"): _expr("paragon", "scan", _log(10.0, 73.0),
+                               _lin(0.0033, 0.28)),
+    # --- gather ------------------------------------------------------------
+    ("sp2", "gather"): _expr("sp2", "gather", _lin(5.8, 77.0),
+                             _lin(0.039, -0.12)),
+    ("t3d", "gather"): _expr("t3d", "gather", _lin(4.3, 67.0),
+                             _lin(0.0057, 0.16)),
+    ("paragon", "gather"): _expr("paragon", "gather", _lin(18.0, 78.0),
+                                 _lin(0.0031, 0.039)),
+    # --- scatter -----------------------------------------------------------
+    ("sp2", "scatter"): _expr("sp2", "scatter", _lin(3.7, 128.0),
+                              _lin(0.022, -0.011)),
+    ("t3d", "scatter"): _expr("t3d", "scatter", _lin(5.3, 30.0),
+                              _lin(0.0047, 0.0084)),
+    ("paragon", "scatter"): _expr("paragon", "scatter", _lin(48.0, 15.0),
+                                  _lin(0.0081, 0.039)),
+    # --- reduce ------------------------------------------------------------
+    ("sp2", "reduce"): _expr("sp2", "reduce", _log(63.0, 26.0),
+                             _log(0.016, 0.071)),
+    ("t3d", "reduce"): _expr("t3d", "reduce", _log(34.0, 49.0),
+                             _log(0.061, -0.00035)),
+    ("paragon", "reduce"): _expr("paragon", "reduce", _log(77.0, 3.6),
+                                 _log(0.16, -0.028)),
+    # --- total exchange -----------------------------------------------------
+    ("sp2", "alltoall"): _expr("sp2", "alltoall", _lin(24.0, 90.0),
+                               _lin(0.082, -0.29)),
+    ("t3d", "alltoall"): _expr("t3d", "alltoall", _lin(26.0, 8.6),
+                               _lin(0.038, -0.12)),
+    ("paragon", "alltoall"): _expr("paragon", "alltoall",
+                                   _lin(97.0, 82.0), _lin(0.073, -0.10)),
+}
+
+
+def paper_expression(machine: str, op: str) -> TimingExpression:
+    """Table 3's expression for ``(machine, op)``."""
+    key = (machine.lower(), op)
+    if key not in PAPER_TABLE3:
+        raise KeyError(f"Table 3 has no entry for {key}")
+    return PAPER_TABLE3[key]
+
+
+#: Headline numeric claims from the abstract and Sections 4-8.
+HEADLINE: Mapping[str, object] = {
+    # "the T3D performs the barrier synchronization in 3 us, at least
+    #  30 times faster than the SP2 or Paragon"
+    "t3d_barrier_us": 3.0,
+    "t3d_barrier_speedup_min": 30.0,
+    # "The lowest latency of using the T3D is 35 us to broadcast a
+    #  message to two nodes."
+    "t3d_broadcast_2node_us": 35.0,
+    # "On the 64-node T3D configuration, we measured a latency of ..."
+    "t3d_startup_64_us": {
+        "broadcast": 150.0,
+        "alltoall": 1700.0,
+        "scatter": 298.0,
+        "gather": 365.0,
+        "scan": 209.0,
+        "reduce": 253.0,
+    },
+    # "For total exchange with 64 nodes, the T3D, Paragon, and SP2
+    #  achieved an aggregated bandwidth of 1.745, 0.879, and 0.818
+    #  GBytes/s, respectively."
+    "alltoall_rinf_64_gbs": {"t3d": 1.745, "paragon": 0.879,
+                             "sp2": 0.818},
+    # "in 64 node total exchange the SP2 requires 317 ms to transmit
+    #  messages of 64 KBytes each" (847 MB/s of 2.56 GB/s raw = 33%).
+    "sp2_alltoall_64x64k_ms": 317.0,
+    # "Various collective operations with 64 KBytes per message over 64
+    #  nodes ... can be completed in the time range (5.12 ms, 675 ms)."
+    "range_64x64k_ms": (5.12, 675.0),
+    # Section 8: Paragon total exchange and gather latencies at p=32,
+    # m=1KB are "about 4 to 15 times greater" than SP2/T3D (Fig. 4).
+    "paragon_fig4_latency_factor": (4.0, 15.0),
+    "paragon_alltoall_latency_32_us": 3857.0,
+    "paragon_gather_latency_32_us": 2918.0,
+}
+
+#: Reported raw hardware characteristics (Section 4/5).
+RAW_HARDWARE: Mapping[str, Mapping[str, float]] = {
+    "sp2": {"network_bandwidth_mbs": 40.0, "hop_latency_ns": 125.0},
+    "t3d": {"network_bandwidth_mbs": 300.0, "hop_latency_ns": 20.0},
+    "paragon": {"network_bandwidth_mbs": 175.0, "hop_latency_ns": 40.0},
+}

@@ -1,0 +1,61 @@
+"""Plain-text table and figure-series rendering for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_us", "format_ratio"]
+
+
+def format_us(value_us: float) -> str:
+    """Render a time in the most readable unit (us / ms / s)."""
+    if value_us != value_us:  # NaN
+        return "n/a"
+    if value_us == float("inf"):
+        return "inf"
+    if value_us < 1_000:
+        return f"{value_us:.3g} us"
+    if value_us < 1_000_000:
+        return f"{value_us / 1_000:.3g} ms"
+    return f"{value_us / 1_000_000:.3g} s"
+
+
+def format_ratio(measured: float, reference: float) -> str:
+    """Render measured/reference, guarding division by zero."""
+    if reference == 0:
+        return "n/a"
+    return f"{measured / reference:.2f}x"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with column alignment."""
+    materialised: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index])
+                          for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Mapping[object, float],
+                  unit: str = "us") -> str:
+    """One figure series as ``name: x=value, ...`` (for bench output)."""
+    rendered = ", ".join(f"{x}={points[x]:.4g}" for x in points)
+    return f"{name} [{unit}]: {rendered}"

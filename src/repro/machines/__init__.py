@@ -1,0 +1,37 @@
+"""Machine models: specifications for the SP2, T3D, and Paragon."""
+
+from .base import (
+    BarrierWire,
+    Machine,
+    MachineSpec,
+    MemoryCosts,
+    NetworkSpec,
+    NicCosts,
+    SoftwareCosts,
+)
+from .paragon import PARAGON
+from .registry import (
+    all_machine_specs,
+    get_machine_spec,
+    machine_names,
+    register_machine_spec,
+)
+from .sp2 import SP2
+from .t3d import T3D
+
+__all__ = [
+    "BarrierWire",
+    "Machine",
+    "MachineSpec",
+    "MemoryCosts",
+    "NetworkSpec",
+    "NicCosts",
+    "PARAGON",
+    "SP2",
+    "SoftwareCosts",
+    "T3D",
+    "all_machine_specs",
+    "get_machine_spec",
+    "machine_names",
+    "register_machine_spec",
+]

@@ -1,0 +1,47 @@
+"""Registry of known machine specifications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import MachineSpec
+from .paragon import PARAGON
+from .sp2 import SP2
+from .t3d import T3D
+
+__all__ = ["get_machine_spec", "machine_names", "all_machine_specs",
+           "register_machine_spec"]
+
+_REGISTRY: Dict[str, MachineSpec] = {
+    SP2.name: SP2,
+    T3D.name: T3D,
+    PARAGON.name: PARAGON,
+}
+
+
+def get_machine_spec(name: str) -> MachineSpec:
+    """Look up a machine spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}")
+    return _REGISTRY[key]
+
+
+def machine_names() -> List[str]:
+    """Names of all registered machines, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_machine_specs() -> List[MachineSpec]:
+    """All registered machine specs, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def register_machine_spec(spec: MachineSpec,
+                          overwrite: bool = False) -> None:
+    """Register a custom machine spec (e.g. an ablated variant)."""
+    key = spec.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"machine {spec.name!r} already registered")
+    _REGISTRY[key] = spec

@@ -1,0 +1,39 @@
+"""Simulated MPI runtime: transport, communicator, collectives."""
+
+from . import collectives  # noqa: F401 - registers algorithms
+from .communicator import Communicator
+from .context import COLLECTIVE_OPS, RankContext
+from .datatypes import (
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT,
+    Datatype,
+    message_bytes,
+)
+from .errors import MpiError, RankError, TruncationError
+from .transport import Envelope, PostedReceive, Transport
+from .world import MpiWorld, Program
+
+__all__ = [
+    "COLLECTIVE_OPS",
+    "Communicator",
+    "Datatype",
+    "Envelope",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_DOUBLE",
+    "MPI_FLOAT",
+    "MPI_INT",
+    "MpiError",
+    "MpiWorld",
+    "PostedReceive",
+    "Program",
+    "RankContext",
+    "RankError",
+    "Transport",
+    "TruncationError",
+    "collectives",
+    "message_bytes",
+]

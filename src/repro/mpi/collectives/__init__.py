@@ -1,0 +1,33 @@
+"""Collective communication algorithms.
+
+Importing this package registers every algorithm with the registry in
+:mod:`repro.mpi.collectives.base`; machines select by name through
+``MachineSpec.algorithms``.
+"""
+
+from . import (  # noqa: F401 - imported for registration side effects
+    alltoall,
+    barrier,
+    broadcast,
+    composite,
+    extensions,
+    gather,
+    reduce,
+    scan,
+    scatter,
+)
+from .base import (
+    absolute_rank,
+    algorithm_names,
+    collective_algorithm,
+    get_algorithm,
+    virtual_rank,
+)
+
+__all__ = [
+    "absolute_rank",
+    "algorithm_names",
+    "collective_algorithm",
+    "get_algorithm",
+    "virtual_rank",
+]

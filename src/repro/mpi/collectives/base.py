@@ -1,0 +1,63 @@
+"""Collective-algorithm registry and shared tree helpers.
+
+Each algorithm is a generator function with the uniform signature
+``algorithm(ctx, seq, nbytes, root)`` where ``ctx`` is the calling
+rank's :class:`~repro.mpi.context.RankContext`, ``seq`` the collective
+sequence number (tag namespace), ``nbytes`` the per-pair message length
+and ``root`` the root rank (ignored by rootless operations).
+
+Machines select algorithms by name (``MachineSpec.algorithms``), which
+is how the per-machine behaviour differences the paper reports —
+e.g. the Paragon's "least efficient schemes" for total exchange — are
+expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = [
+    "collective_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "virtual_rank",
+    "absolute_rank",
+]
+
+_ALGORITHMS: Dict[str, Callable] = {}
+
+
+def collective_algorithm(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering a collective algorithm under ``name``."""
+    def register(function: Callable) -> Callable:
+        if name in _ALGORITHMS:
+            raise ValueError(f"algorithm {name!r} already registered")
+        _ALGORITHMS[name] = function
+        return function
+    return register
+
+
+def get_algorithm(name: str) -> Callable:
+    """Look up a registered algorithm by name."""
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise KeyError(
+            f"unknown collective algorithm {name!r}; "
+            f"known: {known}") from None
+
+
+def algorithm_names() -> List[str]:
+    """All registered algorithm names, sorted."""
+    return sorted(_ALGORITHMS)
+
+
+def virtual_rank(rank: int, root: int, size: int) -> int:
+    """Rank relative to ``root`` (root becomes virtual rank 0)."""
+    return (rank - root) % size
+
+
+def absolute_rank(vrank: int, root: int, size: int) -> int:
+    """Inverse of :func:`virtual_rank`."""
+    return (vrank + root) % size

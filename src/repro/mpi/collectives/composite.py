@@ -1,0 +1,90 @@
+"""Composite collectives built from the paper's primitives.
+
+The paper's Table 1 covers seven operations; ``MPI_Allreduce`` and
+``MPI_Allgather`` are provided as the natural compositions the era's
+MPI implementations used (reduce-then-broadcast and
+gather-then-broadcast).  They are exercised by the extension benches
+and examples, not by the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .base import collective_algorithm, get_algorithm
+
+__all__ = ["reduce_broadcast_allreduce", "gather_broadcast_allgather"]
+
+#: Phase offset isolating the second sub-operation's tags.
+_SECOND_STAGE = 1 << 20
+
+
+def _with_phase_offset(ctx, offset: int):
+    """A proxy context whose collective phases are shifted by ``offset``.
+
+    Lets two sub-operations of one composite collective share a
+    sequence number without tag collisions.
+    """
+
+    class _PhaseShifted:
+        def __getattr__(self, name):
+            return getattr(ctx, name)
+
+        def coll_send(self, seq, phase, dst, nbytes, op, **kwargs):
+            return ctx.coll_send(seq, phase + offset, dst, nbytes, op,
+                                 **kwargs)
+
+        def coll_post(self, seq, phase, src):
+            return ctx.coll_post(seq, phase + offset, src)
+
+        def coll_recv(self, seq, phase, src, op, **kwargs):
+            return ctx.coll_recv(seq, phase + offset, src, op, **kwargs)
+
+    return _PhaseShifted()
+
+
+@collective_algorithm("reduce_broadcast_allreduce")
+def reduce_broadcast_allreduce(ctx, seq: int, nbytes: int,
+                               root: int = 0) -> Generator:
+    """Allreduce as reduce-to-root followed by broadcast."""
+    reduce_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("reduce"))
+    broadcast_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("broadcast"))
+    yield from reduce_algorithm(ctx, seq, nbytes, root)
+    yield from broadcast_algorithm(_with_phase_offset(ctx, _SECOND_STAGE),
+                                   seq, nbytes, root)
+
+
+@collective_algorithm("reduce_scatter_composite")
+def reduce_scatter_composite(ctx, seq: int, nbytes: int,
+                             root: int = 0) -> Generator:
+    """Reduce-scatter as reduce of the full vector, then scatter.
+
+    The reduce carries all ``p`` blocks (``p * nbytes``); the scatter
+    hands each rank its block — the straightforward composition the
+    era's libraries used for ``MPI_Reduce_scatter``.
+    """
+    reduce_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("reduce"))
+    scatter_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("scatter"))
+    yield from reduce_algorithm(ctx, seq, nbytes * ctx.size, root)
+    yield from scatter_algorithm(_with_phase_offset(ctx, _SECOND_STAGE),
+                                 seq, nbytes, root)
+
+
+@collective_algorithm("gather_broadcast_allgather")
+def gather_broadcast_allgather(ctx, seq: int, nbytes: int,
+                               root: int = 0) -> Generator:
+    """Allgather as gather-to-root followed by broadcast of the result.
+
+    The broadcast carries the concatenated buffer (``p * nbytes``).
+    """
+    gather_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("gather"))
+    broadcast_algorithm = get_algorithm(
+        ctx.comm.spec.algorithm_for("broadcast"))
+    yield from gather_algorithm(ctx, seq, nbytes, root)
+    yield from broadcast_algorithm(_with_phase_offset(ctx, _SECOND_STAGE),
+                                   seq, nbytes * ctx.size, root)

@@ -1,0 +1,119 @@
+"""Improved collective algorithms (the paper's further-work direction).
+
+The paper closes by suggesting research into better collective
+implementations.  These variants are the improvements that became
+standard in later MPI libraries; none is selected by the default 1996
+machine models, but all are registered for what-if studies and the
+extension bench races them against the period algorithms:
+
+* ``scatter_allgather_broadcast`` — van de Geijn's long-message
+  broadcast: scatter ``m/p`` chunks, then ring-allgather them.  Moves
+  ~2m per node instead of m per tree level, so it beats the binomial
+  tree once ``m`` is large and ``p`` exceeds a few nodes.
+* ``ring_allgather`` — p-1 neighbour exchanges of one block each;
+  bandwidth-optimal allgather.
+* ``binomial_tree_gather`` — gather over a binomial tree; fewer, larger
+  messages into the root (latency-better, bandwidth-equal).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from .base import absolute_rank, collective_algorithm, virtual_rank
+
+__all__ = ["scatter_allgather_broadcast", "ring_allgather",
+           "binomial_tree_gather", "ring_reduce_scatter"]
+
+#: Phase offset separating the two stages of the van de Geijn broadcast.
+_RING_PHASE = 1 << 18
+
+
+@collective_algorithm("scatter_allgather_broadcast")
+def scatter_allgather_broadcast(ctx, seq: int, nbytes: int,
+                                root: int = 0) -> Generator:
+    """van de Geijn broadcast: linear scatter + ring allgather."""
+    size = ctx.size
+    chunk = max(1, math.ceil(nbytes / size)) if nbytes > 0 else 0
+    # Stage 1: the root scatters one chunk per rank.
+    if ctx.rank == root:
+        for dst in range(size):
+            if dst != root:
+                yield from ctx.coll_send(seq, 0, dst, chunk,
+                                         op="broadcast")
+    else:
+        yield from ctx.coll_recv(seq, 0, root, op="broadcast")
+    # Stage 2: ring allgather of the chunks; after p-1 steps every rank
+    # holds the whole message.
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    for step in range(size - 1):
+        posted = ctx.coll_post(seq, _RING_PHASE + step, left)
+        yield from ctx.coll_send(seq, _RING_PHASE + step, right, chunk,
+                                 op="broadcast")
+        yield from ctx.coll_wait(posted, op="broadcast")
+
+
+@collective_algorithm("ring_allgather")
+def ring_allgather(ctx, seq: int, nbytes: int,
+                   root: int = 0) -> Generator:
+    """Ring allgather: p-1 neighbour exchanges of one block each."""
+    size = ctx.size
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    for step in range(size - 1):
+        posted = ctx.coll_post(seq, step, left)
+        yield from ctx.coll_send(seq, step, right, nbytes,
+                                 op="allgather")
+        yield from ctx.coll_wait(posted, op="allgather")
+
+
+@collective_algorithm("ring_reduce_scatter")
+def ring_reduce_scatter(ctx, seq: int, nbytes: int,
+                        root: int = 0) -> Generator:
+    """Bandwidth-optimal ring reduce-scatter.
+
+    ``p-1`` steps: each rank passes a partially reduced block to its
+    right neighbour, combining the block it receives from the left —
+    every rank ends with one fully reduced block having moved only
+    ``(p-1) * nbytes`` bytes.
+    """
+    size = ctx.size
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    for step in range(size - 1):
+        posted = ctx.coll_post(seq, step, left)
+        yield from ctx.coll_send(seq, step, right, nbytes,
+                                 op="reduce_scatter")
+        yield from ctx.coll_wait(posted, op="reduce_scatter")
+        yield from ctx.combine(nbytes)
+
+
+@collective_algorithm("binomial_tree_gather")
+def binomial_tree_gather(ctx, seq: int, nbytes: int,
+                         root: int = 0) -> Generator:
+    """Binomial-tree gather: subtrees merge, then forward upward.
+
+    Virtual rank ``v`` receives the aggregated blocks of each subtree
+    hanging off its set-bit children, then sends its whole accumulated
+    segment (its subtree size times ``nbytes``) to its parent.
+    """
+    size = ctx.size
+    vrank = virtual_rank(ctx.rank, root, size)
+    accumulated = nbytes  # own block
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = absolute_rank(vrank - mask, root, size)
+            yield from ctx.coll_send(seq, mask.bit_length(), parent,
+                                     accumulated, op="gather")
+            return
+        source_vrank = vrank | mask
+        if source_vrank < size:
+            source = absolute_rank(source_vrank, root, size)
+            subtree = min(mask, size - source_vrank)
+            yield from ctx.coll_recv(seq, mask.bit_length(), source,
+                                     op="gather")
+            accumulated += subtree * nbytes
+        mask <<= 1

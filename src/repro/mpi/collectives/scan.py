@@ -1,0 +1,82 @@
+"""Scan (prefix reduction) algorithms.
+
+``recursive_doubling_scan`` is the textbook O(log p) prefix algorithm
+and matches the logarithmic startup the paper fits on all machines.
+
+``offloaded_scan`` models the Paragon anomaly the paper highlights:
+its scan is *faster* than the T3D's from 16 nodes up, which the
+authors attribute to "different collective algorithms used".  We model
+an NX-native combining tree that runs on the message coprocessor: the
+same recursive-doubling message pattern, but each message costs only
+the offload engine's per-round and per-byte charges instead of the full
+host send/receive path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import MpiError
+from .base import collective_algorithm
+
+__all__ = ["recursive_doubling_scan", "offloaded_scan"]
+
+
+def _scan_pattern(ctx, seq: int, nbytes: int,
+                  send_kwargs: dict, recv_kwargs: dict,
+                  combine_on_host: bool) -> Generator:
+    """Shared recursive-doubling message pattern.
+
+    In round ``r`` (mask ``2**r``), rank ``i`` sends its running
+    partial to ``i + mask`` and receives from ``i - mask``, combining
+    the received operand into both the partial and (since the sender is
+    a lower rank) the local prefix result.
+    """
+    rank, size = ctx.rank, ctx.size
+    mask = 1
+    while mask < size:
+        phase = mask.bit_length()
+        posted = None
+        if rank - mask >= 0:
+            posted = ctx.coll_post(seq, phase, rank - mask)
+        if rank + mask < size:
+            yield from ctx.coll_send(seq, phase, rank + mask, nbytes,
+                                     op="scan", **send_kwargs)
+        if posted is not None:
+            yield from ctx.coll_wait(posted, op="scan", **recv_kwargs)
+            if combine_on_host:
+                yield from ctx.combine(nbytes)
+        mask <<= 1
+
+
+@collective_algorithm("recursive_doubling_scan")
+def recursive_doubling_scan(ctx, seq: int, nbytes: int,
+                            root: int = 0) -> Generator:
+    """Recursive-doubling scan through the host messaging path."""
+    yield from _scan_pattern(ctx, seq, nbytes, send_kwargs={},
+                             recv_kwargs={}, combine_on_host=True)
+
+
+@collective_algorithm("offloaded_scan")
+def offloaded_scan(ctx, seq: int, nbytes: int,
+                   root: int = 0) -> Generator:
+    """Coprocessor-offloaded scan (Paragon NX native path).
+
+    Same message pattern, but each message's software cost is the
+    machine's ``offload_round_us``/``offload_us_per_byte`` (split
+    between the send and receive halves), bypassing the host kernel
+    path and its buffer copies.
+    """
+    software = ctx.comm.spec.software
+    if software.offload_round_us is None or \
+            software.offload_us_per_byte is None:
+        raise MpiError(
+            f"{ctx.comm.spec.name} has no offloaded combining path")
+    if software.offload_setup_us > 0:
+        yield from ctx.delay(software.offload_setup_us)
+    half_cost = (software.offload_round_us +
+                 nbytes * software.offload_us_per_byte) / 2.0
+    yield from _scan_pattern(ctx, seq, nbytes,
+                             send_kwargs={"sw_cost_us": half_cost},
+                             recv_kwargs={"sw_cost_us": half_cost},
+                             combine_on_host=False)

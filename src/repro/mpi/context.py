@@ -1,0 +1,258 @@
+"""Per-rank execution context: the API user programs are written against.
+
+A :class:`RankContext` is handed to each per-rank program generator.
+It exposes point-to-point operations (``send``/``recv``/``irecv``/
+``wait``), the seven collectives the paper evaluates (plus the
+allreduce/allgather extensions), and the local wall clock — mirroring
+how an MPI program sees the world: *my* rank, *my* clock, shared
+communicator.
+
+All blocking operations are generators and must be driven with
+``yield from`` inside a simulation process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..sim import Event
+from .errors import MpiError, RankError
+from .transport import PostedReceive, Transport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .communicator import Communicator
+
+__all__ = ["RankContext", "COLLECTIVE_OPS"]
+
+#: The collective operations the paper evaluates (Table 1) plus the
+#: composed extensions suggested as further work.
+COLLECTIVE_OPS = (
+    "barrier",
+    "broadcast",
+    "gather",
+    "scatter",
+    "reduce",
+    "scan",
+    "alltoall",
+    "allreduce",
+    "allgather",
+    "reduce_scatter",
+)
+
+
+class RankContext:
+    """One process's view of the communicator."""
+
+    def __init__(self, comm: "Communicator", rank: int):
+        self.comm = comm
+        self.rank = rank
+        self._collective_seq = 0
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return self.comm.size
+
+    @property
+    def machine(self):
+        """The hardware machine this communicator runs on."""
+        return self.comm.machine
+
+    @property
+    def transport(self) -> Transport:
+        return self.comm.transport
+
+    @property
+    def env(self):
+        return self.comm.machine.env
+
+    @property
+    def world_rank(self) -> int:
+        """The node index this rank runs on."""
+        return self.comm.world_rank_of(self.rank)
+
+    @property
+    def node(self):
+        """The hardware node this rank runs on (one process per node)."""
+        return self.comm.machine.nodes[self.world_rank]
+
+    def wtime(self) -> float:
+        """``MPI_Wtime``: this node's local wall clock, microseconds."""
+        return self.node.clock.read()
+
+    def log2_size(self) -> int:
+        """Number of tree levels for this communicator size."""
+        return max(1, math.ceil(math.log2(self.size)))
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, dst: int, nbytes: int, tag: object = 0,
+             **kwargs) -> Generator[Event, None, None]:
+        """Blocking standard-mode send (locally blocking, like
+        ``MPI_Send`` with an eager protocol)."""
+        yield from self.transport.send(
+            self.world_rank, self.comm.world_rank_of(dst), nbytes,
+            ("u", self.comm.comm_id, tag), **kwargs)
+
+    def irecv(self, src: int, tag: object = 0) -> PostedReceive:
+        """Post a nonblocking receive; complete it with :meth:`wait`."""
+        return self.transport.post_receive(
+            self.world_rank, self.comm.world_rank_of(src),
+            ("u", self.comm.comm_id, tag))
+
+    def wait(self, receive: PostedReceive,
+             **kwargs) -> Generator[Event, None, object]:
+        """Complete a posted receive, paying the receive-side costs."""
+        envelope = yield from self.transport.complete_receive(
+            self.world_rank, receive, **kwargs)
+        return envelope
+
+    def recv(self, src: int, tag: object = 0,
+             **kwargs) -> Generator[Event, None, object]:
+        """Blocking receive."""
+        receive = self.irecv(src, tag)
+        envelope = yield from self.wait(receive, **kwargs)
+        return envelope
+
+    # -- collective plumbing (used by algorithm implementations) -----------
+    def coll_send(self, seq: int, phase: int, dst: int, nbytes: int,
+                  op: str, **kwargs) -> Generator[Event, None, None]:
+        """Send within collective ``seq``, phase ``phase``."""
+        yield from self.transport.send(
+            self.world_rank, self.comm.world_rank_of(dst), nbytes,
+            ("c", self.comm.comm_id, seq, phase), op=op, **kwargs)
+
+    def coll_post(self, seq: int, phase: int, src: int) -> PostedReceive:
+        """Post a receive within collective ``seq``, phase ``phase``."""
+        return self.transport.post_receive(
+            self.world_rank, self.comm.world_rank_of(src),
+            ("c", self.comm.comm_id, seq, phase))
+
+    def coll_wait(self, receive: PostedReceive, op: str,
+                  **kwargs) -> Generator[Event, None, object]:
+        """Complete a collective-phase receive."""
+        envelope = yield from self.transport.complete_receive(
+            self.world_rank, receive, op=op, **kwargs)
+        return envelope
+
+    def coll_recv(self, seq: int, phase: int, src: int, op: str,
+                  **kwargs) -> Generator[Event, None, object]:
+        """Blocking receive within a collective phase."""
+        receive = self.coll_post(seq, phase, src)
+        envelope = yield from self.coll_wait(receive, op, **kwargs)
+        return envelope
+
+    def combine(self, nbytes: int) -> Generator[Event, None, None]:
+        """Apply the reduction operator to one received operand."""
+        software = self.comm.spec.software
+        cost = software.reduce_round_us + \
+            nbytes * software.reduce_us_per_byte
+        yield self.env.timeout(cost * self.machine.jitter(self.world_rank))
+
+    def delay(self, base_us: float) -> Generator[Event, None, None]:
+        """Jittered software delay on this rank's CPU."""
+        yield self.env.timeout(base_us * self.machine.jitter(self.world_rank))
+
+    def _enter_collective(self, op: str,
+                          nbytes: int) -> Generator[Event, None, int]:
+        """Charge per-call entry costs and allocate a sequence number.
+
+        All ranks must invoke collectives in the same order (an MPI
+        requirement); the per-rank counter then agrees across ranks and
+        serves as the tag namespace for the operation's messages.
+        Entry also waits on the communicator's completion fence for the
+        previous collective (see :class:`~repro.mpi.communicator.
+        Communicator`).
+        """
+        seq = self._collective_seq
+        self._collective_seq += 1
+        if seq > 0 and self.comm.spec.serialize_collectives:
+            yield self.comm.completion_event(seq - 1)
+        software = self.comm.spec.software
+        setup = software.call_setup_us
+        if op == "barrier" and software.barrier_call_setup_us is not None:
+            setup = software.barrier_call_setup_us
+        cost = setup * self.machine.jitter(self.world_rank)
+        cost += self.node.memory.first_touch_penalty((op, nbytes), nbytes)
+        yield self.env.timeout(cost)
+        return seq
+
+    # -- collectives ----------------------------------------------------------
+    def collective(self, op: str, nbytes: int = 0,
+                   root: int = 0) -> Generator[Event, None, None]:
+        """Run collective ``op`` by name (dispatch used by the bench)."""
+        if op not in COLLECTIVE_OPS:
+            raise MpiError(f"unknown collective {op!r}")
+        if not 0 <= root < self.size:
+            raise RankError(root, self.size)
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        from .collectives import get_algorithm
+        algorithm = get_algorithm(self.comm.spec.algorithm_for(op))
+        seq = yield from self._enter_collective(op, nbytes)
+        yield from algorithm(self, seq, nbytes, root)
+        self.comm.report_completion(seq)
+
+    def barrier(self) -> Generator[Event, None, None]:
+        """``MPI_Barrier``: block until all ranks have entered."""
+        yield from self.collective("barrier")
+
+    def bcast(self, nbytes: int,
+              root: int = 0) -> Generator[Event, None, None]:
+        """``MPI_Bcast``: ``nbytes`` from ``root`` to every rank."""
+        yield from self.collective("broadcast", nbytes, root)
+
+    def gather(self, nbytes: int,
+               root: int = 0) -> Generator[Event, None, None]:
+        """``MPI_Gather``: ``nbytes`` from every rank to ``root``."""
+        yield from self.collective("gather", nbytes, root)
+
+    def scatter(self, nbytes: int,
+                root: int = 0) -> Generator[Event, None, None]:
+        """``MPI_Scatter``: distinct ``nbytes`` from ``root`` to each."""
+        yield from self.collective("scatter", nbytes, root)
+
+    def reduce(self, nbytes: int,
+               root: int = 0) -> Generator[Event, None, None]:
+        """``MPI_Reduce``: combine ``nbytes`` operands onto ``root``."""
+        yield from self.collective("reduce", nbytes, root)
+
+    def scan(self, nbytes: int) -> Generator[Event, None, None]:
+        """``MPI_Scan``: prefix reduction over ranks."""
+        yield from self.collective("scan", nbytes)
+
+    def alltoall(self, nbytes: int) -> Generator[Event, None, None]:
+        """``MPI_Alltoall``: distinct ``nbytes`` between every pair."""
+        yield from self.collective("alltoall", nbytes)
+
+    def allreduce(self, nbytes: int) -> Generator[Event, None, None]:
+        """``MPI_Allreduce`` (extension beyond the paper's set)."""
+        yield from self.collective("allreduce", nbytes)
+
+    def allgather(self, nbytes: int) -> Generator[Event, None, None]:
+        """``MPI_Allgather`` (extension beyond the paper's set)."""
+        yield from self.collective("allgather", nbytes)
+
+    def reduce_scatter(self, nbytes: int) -> Generator[Event, None,
+                                                       None]:
+        """``MPI_Reduce_scatter`` with equal ``nbytes`` blocks
+        (extension beyond the paper's set)."""
+        yield from self.collective("reduce_scatter", nbytes)
+
+    # -- communicator management -------------------------------------------
+    def comm_split(self, color: Optional[int], key: int = 0
+                   ) -> Generator[Event, None, Optional["RankContext"]]:
+        """``MPI_Comm_split``: derive a sub-communicator.
+
+        Collective over this communicator: every rank must call it.
+        Ranks passing the same ``color`` form a new communicator,
+        ordered by ``(key, parent rank)``; ``color=None`` (MPI's
+        ``MPI_UNDEFINED``) yields ``None``.  Returns this rank's
+        context in its new communicator.
+        """
+        software = self.comm.spec.software
+        yield from self.delay(software.call_setup_us)
+        gate = self.comm.register_split(self.rank, color, key)
+        assignment = yield gate
+        return assignment[self.rank]

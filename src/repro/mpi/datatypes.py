@@ -1,0 +1,47 @@
+"""MPI datatypes.
+
+The paper's experiments use ``MPI_FLOAT`` (single-precision, 4 bytes)
+throughout; message lengths are reported in bytes.  Datatypes here are
+pure size descriptors: the simulator moves byte counts, not values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Datatype",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_INT",
+    "MPI_FLOAT",
+    "MPI_DOUBLE",
+    "message_bytes",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI elementary datatype: a name and an extent in bytes."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError(f"datatype size must be >= 1, got "
+                             f"{self.size_bytes}")
+
+
+MPI_BYTE = Datatype("MPI_BYTE", 1)
+MPI_CHAR = Datatype("MPI_CHAR", 1)
+MPI_INT = Datatype("MPI_INT", 4)
+MPI_FLOAT = Datatype("MPI_FLOAT", 4)
+MPI_DOUBLE = Datatype("MPI_DOUBLE", 8)
+
+
+def message_bytes(count: int, datatype: Datatype = MPI_FLOAT) -> int:
+    """Message length in bytes for ``count`` elements of ``datatype``."""
+    if count < 0:
+        raise ValueError(f"negative element count {count}")
+    return count * datatype.size_bytes

@@ -1,0 +1,22 @@
+"""MPI-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "RankError", "TruncationError"]
+
+
+class MpiError(Exception):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class RankError(MpiError):
+    """An operation referenced a rank outside the communicator."""
+
+    def __init__(self, rank: int, size: int):
+        super().__init__(f"rank {rank} out of range [0, {size})")
+        self.rank = rank
+        self.size = size
+
+
+class TruncationError(MpiError):
+    """A receive completed with an unexpected message size."""

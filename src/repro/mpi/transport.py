@@ -1,0 +1,225 @@
+"""Point-to-point message transport over the simulated hardware.
+
+The transport turns an abstract ``send(src, dst, nbytes, tag)`` into the
+machine's hardware pipeline:
+
+1. **Issue** — the sending CPU pays the kernel's per-send cost (plus
+   buffer-management cost for bidirectional/buffered traffic).
+2. **Payload move** — the payload is copied through the host memory bus
+   (``HOST`` mode) or streamed by a DMA engine (``BLT``/``COPROC``),
+   depending on machine policy for the enclosing collective.
+3. **Wire** — asynchronously, the NIC transmit engine and the network
+   fabric carry the message (concurrently — the adapter streams into
+   the fabric), then the destination NIC's receive engine ejects it,
+   and after the kernel's dispatch latency the message becomes
+   matchable at the destination.
+4. **Match** — a posted receive matching ``(src, tag)`` completes;
+   otherwise the message joins the unexpected queue and its receiver
+   will later pay the unexpected-handling cost plus a copy out of the
+   system buffer.
+
+The sender is only blocked for steps 1-2, which is what lets a scatter
+root pipeline successive sends at its marginal per-message cost — the
+effect behind the O(p) startup terms of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from ..machines import Machine
+from ..node import TransferMode
+from ..sim import Event
+from .errors import RankError
+
+__all__ = ["Envelope", "PostedReceive", "Transport"]
+
+
+@dataclass
+class Envelope:
+    """Metadata of one in-flight or delivered message."""
+
+    src: int
+    dst: int
+    tag: object
+    nbytes: int
+    sent_at: float
+    delivered_at: Optional[float] = None
+
+
+@dataclass
+class PostedReceive:
+    """Handle for a posted (possibly not yet matched) receive."""
+
+    event: Event
+    src: int
+    tag: object
+    was_unexpected: bool = False
+
+
+class Transport:
+    """Message matching and hardware pipelines for one machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.env = machine.env
+        self.spec = machine.spec
+        self._posted: List[List[PostedReceive]] = \
+            [[] for _ in range(machine.num_nodes)]
+        self._unexpected: List[List[Envelope]] = \
+            [[] for _ in range(machine.num_nodes)]
+        self.messages_delivered = 0
+        self.unexpected_arrivals = 0
+
+    # -- validation -------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.machine.num_nodes:
+            raise RankError(rank, self.machine.num_nodes)
+
+    # -- send side ----------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int, tag: object,
+             op: str = "ptp", buffered: bool = False,
+             sw_cost_us: Optional[float] = None
+             ) -> Generator[Event, None, None]:
+        """Process generator: issue one message from ``src`` to ``dst``.
+
+        Blocks the caller for the local (CPU + payload move) costs only;
+        the wire part proceeds asynchronously.  ``sw_cost_us`` overrides
+        the kernel software cost for offloaded paths (the payload move
+        is then skipped too — the offload engine's cost is included in
+        the override).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        software = self.spec.software
+        node = self.machine.nodes[src]
+        mode = node.payload_mode(self.spec.uses_dma_for(op), nbytes)
+        if sw_cost_us is not None:
+            yield self.env.timeout(sw_cost_us * self.machine.jitter(src))
+        else:
+            cost = software.send_msg_us
+            if buffered:
+                cost += software.buffered_msg_us
+            yield self.env.timeout(cost * self.machine.jitter(src))
+            if nbytes > 0:
+                if mode is TransferMode.HOST:
+                    # An unbuffered send streams straight from the user
+                    # buffer (eager/rendezvous direct path); a buffered
+                    # (bidirectional-traffic) send stages through system
+                    # buffers — in and back out — on the memory bus.
+                    if buffered:
+                        yield from node.memory.copy(2 * nbytes)
+                else:
+                    assert node.dma is not None
+                    yield from node.dma.stream(nbytes)
+        self.env.process(self._wire(src, dst, nbytes, tag, op,
+                                    fast=mode is not TransferMode.HOST),
+                         name=f"wire-{src}-{dst}")
+
+    def _wire(self, src: int, dst: int, nbytes: int, tag: object,
+              op: str, fast: bool) -> Generator[Event, None, None]:
+        envelope = Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes,
+                            sent_at=self.env.now)
+        src_node = self.machine.nodes[src]
+        dst_node = self.machine.nodes[dst]
+        # The destination drains at DMA speed when its policy offloads
+        # this collective's payloads (e.g. the Paragon coprocessor).
+        fast_rx = dst_node.payload_mode(self.spec.uses_dma_for(op),
+                                        nbytes) is not TransferMode.HOST
+        # Transmit engine, wormhole transfer, and receive engine all
+        # stream the same bytes cut-through: they overlap in time, and
+        # the message is in the destination's buffer once the slowest
+        # leg finishes.  Each engine is still a FIFO resource, so
+        # back-to-back messages through one NIC or link serialize.
+        legs = [
+            self.env.process(src_node.nic.transmit(nbytes, fast=fast)),
+            self.env.process(self.machine.fabric.transfer(src, dst, nbytes)),
+            self.env.process(dst_node.nic.receive(nbytes, fast=fast_rx)),
+        ]
+        yield self.env.all_of(legs)
+        yield self.env.timeout(
+            self.spec.software.deliver_us * self.machine.jitter(dst))
+        envelope.delivered_at = self.env.now
+        self._deliver(envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        posted = self._posted[envelope.dst]
+        for index, receive in enumerate(posted):
+            if receive.src == envelope.src and receive.tag == envelope.tag:
+                del posted[index]
+                receive.was_unexpected = False
+                receive.event.succeed(envelope)
+                self.messages_delivered += 1
+                return
+        self._unexpected[envelope.dst].append(envelope)
+        self.unexpected_arrivals += 1
+        self.machine.tracer.emit(self.env.now, "unexpected-message",
+                                 envelope.dst, src=envelope.src,
+                                 tag=envelope.tag)
+
+    # -- receive side ---------------------------------------------------------
+    def post_receive(self, rank: int, src: int,
+                     tag: object) -> PostedReceive:
+        """Post a receive for ``(src, tag)``; returns a waitable handle."""
+        self._check_rank(rank)
+        self._check_rank(src)
+        unexpected = self._unexpected[rank]
+        for index, envelope in enumerate(unexpected):
+            if envelope.src == src and envelope.tag == tag:
+                del unexpected[index]
+                receive = PostedReceive(self.env.event(), src, tag,
+                                        was_unexpected=True)
+                receive.event.succeed(envelope)
+                self.messages_delivered += 1
+                return receive
+        receive = PostedReceive(self.env.event(), src, tag)
+        self._posted[rank].append(receive)
+        return receive
+
+    def complete_receive(self, rank: int, receive: PostedReceive,
+                         op: str = "ptp", buffered: bool = False,
+                         sw_cost_us: Optional[float] = None
+                         ) -> Generator[Event, None, Envelope]:
+        """Process generator: wait for and retire a posted receive."""
+        envelope = yield receive.event
+        software = self.spec.software
+        node = self.machine.nodes[rank]
+        if sw_cost_us is not None:
+            yield self.env.timeout(sw_cost_us * self.machine.jitter(rank))
+            return envelope
+        cost = software.recv_msg_us
+        if buffered:
+            cost += software.buffered_msg_us
+        if receive.was_unexpected:
+            cost += software.unexpected_us
+        yield self.env.timeout(cost * self.machine.jitter(rank))
+        if envelope.nbytes > 0:
+            # Eager protocol: a message that found its receive posted
+            # was deposited straight into the user buffer; an
+            # unexpected one landed in a system buffer and the host
+            # copies it out.  Buffered (bidirectional) traffic always
+            # stages through system buffers, in and out.  DMA-offloaded
+            # collectives place data directly in every case.
+            mode = node.payload_mode(self.spec.uses_dma_for(op),
+                                     envelope.nbytes)
+            if mode is TransferMode.HOST:
+                copies = 0
+                if buffered:
+                    copies = 2
+                elif receive.was_unexpected:
+                    copies = 1
+                if copies:
+                    yield from node.memory.copy(copies * envelope.nbytes)
+        return envelope
+
+    # -- introspection ---------------------------------------------------------
+    def pending_unexpected(self, rank: int) -> int:
+        """Messages waiting unmatched at ``rank`` (test/diagnostic aid)."""
+        return len(self._unexpected[rank])
+
+    def pending_posted(self, rank: int) -> int:
+        """Receives posted but unmatched at ``rank``."""
+        return len(self._posted[rank])

@@ -1,0 +1,105 @@
+"""MpiWorld: the package's top-level entry point.
+
+An :class:`MpiWorld` bundles a simulation environment, a machine built
+from a spec, and a communicator, and runs SPMD programs on it.  A
+program is a function taking a :class:`~repro.mpi.context.RankContext`
+and returning a generator — the per-rank process body::
+
+    def program(ctx):
+        yield from ctx.barrier()
+        start = ctx.wtime()
+        yield from ctx.bcast(1024)
+        return ctx.wtime() - start
+
+    world = MpiWorld("t3d", num_nodes=8)
+    per_rank_times = world.run(program)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from ..machines import Machine, MachineSpec, get_machine_spec
+from ..sim import Environment, RandomStreams, Tracer
+from .communicator import Communicator
+from .context import RankContext
+from .errors import MpiError
+
+__all__ = ["MpiWorld", "Program"]
+
+Program = Callable[[RankContext], Generator]
+
+
+class MpiWorld:
+    """A simulated machine plus a world communicator, ready to run."""
+
+    def __init__(self, machine: Union[str, MachineSpec], num_nodes: int,
+                 seed: int = 0, contention: bool = True,
+                 trace: bool = False,
+                 cpu_slowdown: Optional[dict] = None):
+        spec = get_machine_spec(machine) if isinstance(machine, str) \
+            else machine
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.tracer = Tracer(enabled=trace)
+        self.machine = Machine(self.env, spec, num_nodes,
+                               streams=self.streams, tracer=self.tracer,
+                               contention=contention,
+                               cpu_slowdown=cpu_slowdown)
+        self.comm = Communicator(self.machine)
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self.machine.spec
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        """Global simulated time in microseconds (omniscient view)."""
+        return self.env.now
+
+    def run(self, program: Program,
+            until: Optional[float] = None) -> List[Any]:
+        """Run ``program`` on every rank; return per-rank results.
+
+        Raises :class:`MpiError` if any rank's process failed or (when
+        ``until`` is given) did not finish in time.
+        """
+        processes = [
+            self.env.process(program(ctx), name=f"rank-{ctx.rank}")
+            for ctx in self.comm.contexts
+        ]
+        for process in processes:
+            # A rank failure must be reported as MpiError after the
+            # run, not abort the event loop mid-flight.
+            process.defused()
+        self.env.run(until=until)
+        for rank, process in enumerate(processes):
+            if process.triggered and not process.ok:
+                raise MpiError(
+                    f"rank {rank} failed: {process.value!r}") from \
+                    process.value
+        for rank, process in enumerate(processes):
+            if not process.triggered:
+                raise MpiError(
+                    f"rank {rank} did not finish (deadlock or until= too "
+                    f"small at t={self.env.now:.1f} us)")
+        return [process.value for process in processes]
+
+    def run_collective(self, op: str, nbytes: int = 0, root: int = 0,
+                       iterations: int = 1) -> float:
+        """Convenience: run ``op`` ``iterations`` times, return the
+        elapsed simulated wall time in microseconds (global clock)."""
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        start = self.env.now
+
+        def body(ctx: RankContext):
+            for _ in range(iterations):
+                yield from ctx.collective(op, nbytes, root)
+
+        self.run(body)
+        return self.env.now - start

@@ -1,0 +1,20 @@
+"""Interconnection-network models: topologies, links, and the fabric."""
+
+from .fabric import NetworkFabric
+from .link import Link, LinkParameters, bandwidth_to_us_per_byte
+from .mesh import Mesh2D
+from .multistage import OmegaNetwork
+from .topology import LinkId, Topology
+from .torus import Torus3D
+
+__all__ = [
+    "Link",
+    "LinkId",
+    "LinkParameters",
+    "Mesh2D",
+    "NetworkFabric",
+    "OmegaNetwork",
+    "Topology",
+    "Torus3D",
+    "bandwidth_to_us_per_byte",
+]

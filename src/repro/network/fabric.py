@@ -1,0 +1,94 @@
+"""Dynamic network fabric: routes transfers over contended links.
+
+The fabric applies a *channel-occupancy* approximation of wormhole
+routing: a message acquires every link on its route, holds them all for
+
+    hops * hop_latency + nbytes * us_per_byte
+
+and releases them.  The per-byte term is paid once (the worm is
+pipelined across hops), while messages whose routes share a link
+serialize — which is what produces the network-contention component of
+collective times.
+
+Deadlock freedom: links are always acquired in one global canonical
+order (their index in ``topology.links()``), so no cyclic wait can
+arise regardless of topology or traffic pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..sim import Environment, Event, Tracer
+from .link import Link, LinkParameters
+from .topology import LinkId, Topology
+
+__all__ = ["NetworkFabric"]
+
+
+class NetworkFabric:
+    """Routes byte transfers over a :class:`Topology` with contention."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 params: LinkParameters, contention: bool = True,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.topology = topology
+        self.params = params
+        self.contention = contention
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._links: Dict[LinkId, Link] = {}
+        self._order: Dict[LinkId, int] = {}
+        for index, link_id in enumerate(topology.links()):
+            self._links[link_id] = Link(env, link_id, params)
+            self._order[link_id] = index
+
+    def link(self, link_id: LinkId) -> Link:
+        """The :class:`Link` object for ``link_id``."""
+        return self._links[link_id]
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Uncontended duration of a transfer (the occupancy hold time)."""
+        hops = self.topology.distance(src, dst)
+        return hops * self.params.hop_latency_us + \
+            nbytes * self.params.us_per_byte
+
+    def transfer(self, src: int, dst: int,
+                 nbytes: int) -> Generator[Event, None, None]:
+        """Process generator performing one ``src`` -> ``dst`` transfer.
+
+        Yields until the message's tail has left the network.  A
+        self-transfer (``src == dst``) completes immediately: it never
+        enters the fabric.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        route = self.topology.route(src, dst)
+        if not route:
+            return
+        hold = len(route) * self.params.hop_latency_us + \
+            nbytes * self.params.us_per_byte
+        if not self.contention:
+            yield self.env.timeout(hold)
+            return
+        ordered = sorted(route, key=self._order.__getitem__)
+        requests = []
+        queued_at = self.env.now
+        for link_id in ordered:
+            request = self._links[link_id].resource.request()
+            requests.append((link_id, request))
+            yield request
+        wait = self.env.now - queued_at
+        if wait > 0:
+            self.tracer.emit(self.env.now, "link-contention", src,
+                             dst=dst, waited_us=wait, nbytes=nbytes)
+        yield self.env.timeout(hold)
+        for link_id, request in requests:
+            self._links[link_id].record(nbytes)
+            self._links[link_id].resource.release(request)
+
+    def utilisation(self) -> Dict[LinkId, int]:
+        """Bytes carried per link (only meaningful with contention on)."""
+        return {link_id: link.bytes_carried
+                for link_id, link in self._links.items()
+                if link.transfers}

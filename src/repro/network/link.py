@@ -1,0 +1,57 @@
+"""Physical link model: a FIFO channel with latency and bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Environment, Resource
+
+__all__ = ["LinkParameters", "Link"]
+
+#: Conversion factor: 1 MByte/s equals this many bytes per microsecond.
+_BYTES_PER_US_PER_MBS = 1.048576  # 2**20 bytes / 1e6 us
+
+
+def bandwidth_to_us_per_byte(mbytes_per_s: float) -> float:
+    """Convert a bandwidth in MByte/s to a cost in microseconds/byte."""
+    if mbytes_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {mbytes_per_s}")
+    return 1.0 / (mbytes_per_s * _BYTES_PER_US_PER_MBS)
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Per-link timing parameters.
+
+    ``hop_latency_us`` is the switch/router traversal time for the
+    message header; ``bandwidth_mbs`` is the raw channel bandwidth.
+    """
+
+    hop_latency_us: float
+    bandwidth_mbs: float
+
+    @property
+    def us_per_byte(self) -> float:
+        """Serialization cost of one byte on this link."""
+        return bandwidth_to_us_per_byte(self.bandwidth_mbs)
+
+
+class Link:
+    """A directed channel: a capacity-1 resource plus timing parameters.
+
+    The fabric acquires the link for the duration of a transfer; FIFO
+    granting in :class:`~repro.sim.Resource` makes contention
+    deterministic.
+    """
+
+    def __init__(self, env: Environment, link_id, params: LinkParameters):
+        self.link_id = link_id
+        self.params = params
+        self.resource = Resource(env, capacity=1)
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    def record(self, nbytes: int) -> None:
+        """Account a completed transfer for utilisation statistics."""
+        self.bytes_carried += nbytes
+        self.transfers += 1

@@ -1,0 +1,90 @@
+"""2-D mesh topology with dimension-order (X-then-Y) routing.
+
+This models the Intel Paragon interconnect: a 2-D mesh of mesh-router
+chips (iMRCs) with deterministic dimension-order wormhole routing and
+no wrap-around links [Dunigan 1995].
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .topology import LinkId, Topology, validate_route_endpoints
+
+__all__ = ["Mesh2D"]
+
+
+class Mesh2D(Topology):
+    """A ``width`` x ``height`` mesh; node ``n`` sits at
+    ``(n % width, n // width)``.
+
+    Directed link ids are ``("mesh", (x0, y0), (x1, y1))`` between
+    adjacent coordinates.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError(f"bad mesh shape {width}x{height}")
+        super().__init__(width * height)
+        self.width = width
+        self.height = height
+
+    @classmethod
+    def for_nodes(cls, num_nodes: int) -> "Mesh2D":
+        """Most-square mesh holding exactly ``num_nodes`` nodes.
+
+        Prefers the factorisation closest to square, matching how
+        Paragon partitions were allocated as near-square sub-meshes.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        best = (1, num_nodes)
+        for width in range(1, int(num_nodes ** 0.5) + 1):
+            if num_nodes % width == 0:
+                best = (width, num_nodes // width)
+        # best has width <= height; either orientation is equivalent.
+        return cls(best[0], best[1])
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Grid coordinates of ``node``."""
+        self.check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at grid coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def links(self) -> Sequence[LinkId]:
+        out: List[LinkId] = []
+        for y in range(self.height):
+            for x in range(self.width):
+                if x + 1 < self.width:
+                    out.append(("mesh", (x, y), (x + 1, y)))
+                    out.append(("mesh", (x + 1, y), (x, y)))
+                if y + 1 < self.height:
+                    out.append(("mesh", (x, y), (x, y + 1)))
+                    out.append(("mesh", (x, y + 1), (x, y)))
+        return out
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        validate_route_endpoints(self, src, dst)
+        x, y = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        hops: List[LinkId] = []
+        while x != dx:  # X dimension first
+            nx = x + (1 if dx > x else -1)
+            hops.append(("mesh", (x, y), (nx, y)))
+            x = nx
+        while y != dy:  # then Y
+            ny = y + (1 if dy > y else -1)
+            hops.append(("mesh", (x, y), (x, ny)))
+            y = ny
+        return hops
+
+    def distance(self, src: int, dst: int) -> int:
+        validate_route_endpoints(self, src, dst)
+        x, y = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(dx - x) + abs(dy - y)

@@ -1,0 +1,84 @@
+"""Multistage Omega network with destination-tag routing.
+
+This models the IBM SP2 interconnect: the Vulcan switch fabric, a
+multistage network of small crossbar switch elements with a latency of
+a few hundred nanoseconds per stage [Stunkel et al. 1994].  We use the
+classic Omega construction — ``n = ceil(log_k p)`` stages of ``k x k``
+crossbars connected by perfect shuffles — which shares the SP2 fabric's
+essential properties: O(log p) distance between every pair of nodes and
+internal blocking when two routes need the same inter-stage wire.
+
+Routing is destination-tag: before stage ``s`` the position's base-k
+digits are rotated left (the perfect shuffle) and the crossbar then
+replaces the low digit with digit ``n-1-s`` of the destination.  Two
+messages contend exactly when they leave the same stage on the same
+wire, so link ids are ``("ms", stage, position_after_stage)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .topology import LinkId, Topology, validate_route_endpoints
+
+__all__ = ["OmegaNetwork"]
+
+
+class OmegaNetwork(Topology):
+    """Omega network on ``k^n >= num_nodes`` ports with ``k x k`` switches.
+
+    When ``num_nodes`` is not a power of ``k`` the fabric is built for
+    the next power and nodes occupy the first ports, as real frames
+    were partially populated.
+    """
+
+    def __init__(self, num_nodes: int, radix: int = 4):
+        if radix < 2:
+            raise ValueError(f"radix must be >= 2, got {radix}")
+        super().__init__(num_nodes)
+        self.radix = radix
+        self.stages = 1
+        ports = radix
+        while ports < num_nodes:
+            ports *= radix
+            self.stages += 1
+        self.ports = ports
+
+    def _rotate_left(self, position: int) -> int:
+        """Rotate the base-``radix`` digits of ``position`` left by one."""
+        high = position * self.radix // self.ports
+        return (position * self.radix) % self.ports + high
+
+    def _dst_digit(self, dst: int, stage: int) -> int:
+        """Digit ``stages - 1 - stage`` of ``dst`` in base ``radix``."""
+        shift = self.stages - 1 - stage
+        return (dst // (self.radix ** shift)) % self.radix
+
+    def positions(self, src: int, dst: int) -> List[int]:
+        """Virtual port positions after each stage, ending at ``dst``."""
+        validate_route_endpoints(self, src, dst)
+        positions = []
+        pos = src
+        for stage in range(self.stages):
+            shuffled = self._rotate_left(pos)
+            pos = shuffled - (shuffled % self.radix) + \
+                self._dst_digit(dst, stage)
+            positions.append(pos)
+        assert pos == dst, "destination-tag routing must land on dst"
+        return positions
+
+    def links(self) -> Sequence[LinkId]:
+        return [("ms", stage, pos)
+                for stage in range(self.stages)
+                for pos in range(self.ports)]
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        validate_route_endpoints(self, src, dst)
+        if src == dst:
+            return []
+        return [("ms", stage, pos)
+                for stage, pos in enumerate(self.positions(src, dst))]
+
+    def distance(self, src: int, dst: int) -> int:
+        validate_route_endpoints(self, src, dst)
+        return 0 if src == dst else self.stages

@@ -1,0 +1,78 @@
+"""Abstract interconnect topology.
+
+A topology is a static description of the machine's wiring: a set of
+nodes, a set of directed links, and a deterministic route (sequence of
+links) between any ordered pair of nodes.  The dynamic behaviour —
+occupancy, queueing, transfer timing — lives in
+:mod:`repro.network.fabric`; keeping the two separate lets the tests
+verify routing properties (minimality, deadlock-freedom of the
+acquisition order, dimension order) without running a simulation.
+
+Links are identified by hashable ids; the conventional id is a tuple
+``(kind, endpoint_a, endpoint_b)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, List, Sequence
+
+__all__ = ["Topology", "LinkId", "validate_route_endpoints"]
+
+LinkId = Hashable
+
+
+class Topology(ABC):
+    """Static wiring of an interconnection network."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        self._num_nodes = num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes attached to the network."""
+        return self._num_nodes
+
+    @abstractmethod
+    def links(self) -> Sequence[LinkId]:
+        """All directed link ids in the network (stable order)."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        """Ordered links a message from ``src`` to ``dst`` traverses.
+
+        Must be deterministic and return ``[]`` when ``src == dst``.
+        """
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count between two nodes (length of the route)."""
+        return len(self.route(src, dst))
+
+    def check_node(self, node: int) -> None:
+        """Raise ``ValueError`` for out-of-range node ids."""
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(
+                f"node {node} out of range [0, {self._num_nodes})")
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs of distinct nodes."""
+        p = self._num_nodes
+        if p < 2:
+            return 0.0
+        total = sum(self.distance(s, d)
+                    for s in range(p) for d in range(p) if s != d)
+        return total / (p * (p - 1))
+
+    def diameter(self) -> int:
+        """Maximum hop count over all ordered pairs."""
+        p = self._num_nodes
+        return max((self.distance(s, d)
+                    for s in range(p) for d in range(p)), default=0)
+
+
+def validate_route_endpoints(topology: Topology, src: int, dst: int) -> None:
+    """Shared argument validation used by all concrete topologies."""
+    topology.check_node(src)
+    topology.check_node(dst)

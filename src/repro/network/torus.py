@@ -1,0 +1,131 @@
+"""3-D torus topology with shortest-wrap dimension-order routing.
+
+This models the Cray T3D interconnect: a 3-D torus routed dimension
+order X, Y, Z, taking the shorter direction around each ring
+[Adams 1993; Koeninger et al. 1994].
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .topology import LinkId, Topology, validate_route_endpoints
+
+__all__ = ["Torus3D"]
+
+
+def _ring_steps(size: int, src: int, dst: int) -> List[Tuple[int, int]]:
+    """Steps ``(from, to)`` along one ring, taking the shorter way.
+
+    Ties (exactly half-way around an even ring) break toward the
+    positive direction, keeping routing deterministic.
+    """
+    if size == 1 or src == dst:
+        return []
+    forward = (dst - src) % size
+    backward = (src - dst) % size
+    step = 1 if forward <= backward else -1
+    steps = []
+    pos = src
+    while pos != dst:
+        nxt = (pos + step) % size
+        steps.append((pos, nxt))
+        pos = nxt
+    return steps
+
+
+class Torus3D(Topology):
+    """An ``nx`` x ``ny`` x ``nz`` torus; node ``n`` sits at
+    ``(n % nx, (n // nx) % ny, n // (nx * ny))``.
+
+    Directed link ids are ``("torus", axis, (x, y, z), (x', y', z'))``.
+    """
+
+    def __init__(self, nx: int, ny: int, nz: int):
+        if min(nx, ny, nz) < 1:
+            raise ValueError(f"bad torus shape {nx}x{ny}x{nz}")
+        super().__init__(nx * ny * nz)
+        self.shape = (nx, ny, nz)
+
+    @classmethod
+    def for_nodes(cls, num_nodes: int) -> "Torus3D":
+        """Most-cubic torus holding exactly ``num_nodes`` nodes."""
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        best = None
+        for nx in range(1, num_nodes + 1):
+            if num_nodes % nx:
+                continue
+            rest = num_nodes // nx
+            for ny in range(1, rest + 1):
+                if rest % ny:
+                    continue
+                nz = rest // ny
+                spread = max(nx, ny, nz) - min(nx, ny, nz)
+                key = (spread, max(nx, ny, nz))
+                if best is None or key < best[0]:
+                    best = (key, (nx, ny, nz))
+        assert best is not None
+        return cls(*best[1])
+
+    def coordinates(self, node: int) -> Tuple[int, int, int]:
+        """Torus coordinates of ``node``."""
+        self.check_node(node)
+        nx, ny, _ = self.shape
+        return node % nx, (node // nx) % ny, node // (nx * ny)
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        """Node id at torus coordinates ``(x, y, z)``."""
+        nx, ny, nz = self.shape
+        if not (0 <= x < nx and 0 <= y < ny and 0 <= z < nz):
+            raise ValueError(f"coordinates ({x}, {y}, {z}) outside torus")
+        return (z * ny + y) * nx + x
+
+    def links(self) -> Sequence[LinkId]:
+        nx, ny, nz = self.shape
+        out: List[LinkId] = []
+        for z in range(nz):
+            for y in range(ny):
+                for x in range(nx):
+                    here = (x, y, z)
+                    for axis, size, neighbour in (
+                        (0, nx, ((x + 1) % nx, y, z)),
+                        (1, ny, (x, (y + 1) % ny, z)),
+                        (2, nz, (x, y, (z + 1) % nz)),
+                    ):
+                        if size > 1 and neighbour != here:
+                            out.append(("torus", axis, here, neighbour))
+                            out.append(("torus", axis, neighbour, here))
+        # Size-2 rings create each pair twice (wrap == direct); dedupe.
+        seen = set()
+        unique: List[LinkId] = []
+        for link in out:
+            if link not in seen:
+                seen.add(link)
+                unique.append(link)
+        return unique
+
+    def route(self, src: int, dst: int) -> List[LinkId]:
+        validate_route_endpoints(self, src, dst)
+        nx, ny, nz = self.shape
+        sx, sy, sz = self.coordinates(src)
+        dx, dy, dz = self.coordinates(dst)
+        hops: List[LinkId] = []
+        for fr, to in _ring_steps(nx, sx, dx):
+            hops.append(("torus", 0, (fr, sy, sz), (to, sy, sz)))
+        for fr, to in _ring_steps(ny, sy, dy):
+            hops.append(("torus", 1, (dx, fr, sz), (dx, to, sz)))
+        for fr, to in _ring_steps(nz, sz, dz):
+            hops.append(("torus", 2, (dx, dy, fr), (dx, dy, to)))
+        return hops
+
+    def distance(self, src: int, dst: int) -> int:
+        validate_route_endpoints(self, src, dst)
+        coords_s = self.coordinates(src)
+        coords_d = self.coordinates(dst)
+        total = 0
+        for axis in range(3):
+            size = self.shape[axis]
+            forward = (coords_d[axis] - coords_s[axis]) % size
+            total += min(forward, size - forward)
+        return total

@@ -1,0 +1,19 @@
+"""Node-hardware models: clock, memory system, NIC, DMA, barrier wire."""
+
+from .barrier import HardwareBarrier
+from .clock import NodeClock
+from .dma import DmaEngine, DmaParameters, TransferMode
+from .memory import MemorySystem
+from .nic import Nic
+from .node import Node
+
+__all__ = [
+    "DmaEngine",
+    "DmaParameters",
+    "HardwareBarrier",
+    "MemorySystem",
+    "Nic",
+    "Node",
+    "NodeClock",
+    "TransferMode",
+]

@@ -1,0 +1,80 @@
+"""Network interface model.
+
+A NIC has a transmit engine and a receive engine, each a capacity-1
+resource with a per-message cost and a serialization bandwidth.  The
+SP2's communication adapter is modelled *half duplex*: one engine is
+shared between transmit and receive, which is part of why the SP2
+struggles with the bidirectional traffic of a total exchange
+[Stunkel et al. 1994].  The T3D and Paragon NICs are full duplex.
+
+Engine occupancy is what creates root-side serialization in gather
+(the root's receive engine handles p-1 messages one after another) and
+source-side serialization in scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Environment, Event, Resource
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """Transmit/receive engines of one node's network adapter."""
+
+    def __init__(self, env: Environment, per_message_us: float,
+                 bandwidth_mbs: float, half_duplex: bool = False,
+                 fast_bandwidth_mbs: Optional[float] = None):
+        if bandwidth_mbs <= 0:
+            raise ValueError(f"bandwidth must be positive, got "
+                             f"{bandwidth_mbs}")
+        if per_message_us < 0:
+            raise ValueError(f"negative per-message cost {per_message_us}")
+        self.env = env
+        self.per_message_us = per_message_us
+        self.us_per_byte = 1.0 / (bandwidth_mbs * 1.048576)
+        if fast_bandwidth_mbs is None:
+            self.fast_us_per_byte = self.us_per_byte
+        elif fast_bandwidth_mbs <= 0:
+            raise ValueError(f"fast bandwidth must be positive, got "
+                             f"{fast_bandwidth_mbs}")
+        else:
+            self.fast_us_per_byte = 1.0 / (fast_bandwidth_mbs * 1.048576)
+        self.half_duplex = half_duplex
+        self._tx = Resource(env, capacity=1)
+        self._rx = self._tx if half_duplex else Resource(env, capacity=1)
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def occupancy_us(self, nbytes: int, fast: bool = False) -> float:
+        """Engine busy time for one message of ``nbytes``.
+
+        ``fast`` selects the DMA-fed rate (a block-transfer engine or
+        message coprocessor feeds the port at link speed, bypassing the
+        slower host-driven path).
+        """
+        per_byte = self.fast_us_per_byte if fast else self.us_per_byte
+        return self.per_message_us + nbytes * per_byte
+
+    def transmit(self, nbytes: int,
+                 fast: bool = False) -> Generator[Event, None, None]:
+        """Process generator: occupy the transmit engine for one message."""
+        yield from self._occupy(self._tx, nbytes, fast)
+        self.messages_sent += 1
+
+    def receive(self, nbytes: int,
+                fast: bool = False) -> Generator[Event, None, None]:
+        """Process generator: occupy the receive engine for one message."""
+        yield from self._occupy(self._rx, nbytes, fast)
+        self.messages_received += 1
+
+    def _occupy(self, engine: Resource, nbytes: int,
+                fast: bool) -> Generator[Event, None, None]:
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        request = engine.request()
+        yield request
+        yield self.env.timeout(self.occupancy_us(nbytes, fast))
+        engine.release(request)

@@ -1,0 +1,48 @@
+"""The compute node: clock + memory + NIC + optional DMA engine.
+
+A :class:`Node` bundles the hardware resources one processing element
+contributes to the simulation.  The MPI runtime
+(:mod:`repro.mpi`) orchestrates these resources into message
+send/receive pipelines; the node itself is policy-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment
+from .clock import NodeClock
+from .dma import DmaEngine, TransferMode
+from .memory import MemorySystem
+from .nic import Nic
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One processing element of a simulated multicomputer."""
+
+    def __init__(self, env: Environment, index: int, clock: NodeClock,
+                 memory: MemorySystem, nic: Nic,
+                 dma: Optional[DmaEngine] = None):
+        self.env = env
+        self.index = index
+        self.clock = clock
+        self.memory = memory
+        self.nic = nic
+        self.dma = dma
+
+    def payload_mode(self, prefer_dma: bool, nbytes: int) -> TransferMode:
+        """Pick how a payload of ``nbytes`` moves on this node.
+
+        The DMA engine is used only when the caller's policy prefers it
+        *and* the payload clears the engine's size threshold; otherwise
+        the host copies through the memory bus.
+        """
+        if prefer_dma and self.dma is not None and \
+                self.dma.applicable(nbytes):
+            return self.dma.params.kind
+        return TransferMode.HOST
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index}>"

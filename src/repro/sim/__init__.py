@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+Exports the engine (:class:`Environment`, :class:`Process`, events),
+shared resources (:class:`Resource`, :class:`Store`), deterministic
+random streams, and tracing.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .resources import FilterStore, Request, Resource, Store
+from .rng import RandomStreams
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StopProcess",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,450 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic discrete-event engine in
+the style of SimPy: an :class:`Environment` owns a priority queue of
+timestamped events, and :class:`Process` objects are Python generators
+that ``yield`` events to suspend until those events fire.
+
+The engine is the substrate every other layer of this package runs on:
+network links, NICs, DMA engines, and the MPI runtime are all expressed
+as processes and resources scheduled here.
+
+Determinism
+-----------
+Two runs with the same inputs produce identical event orderings: ties in
+time are broken first by an explicit integer priority and then by a
+monotonically increasing event id.  All randomness in higher layers goes
+through the seeded streams in :mod:`repro.sim.rng`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopProcess",
+    "NORMAL",
+    "URGENT",
+]
+
+#: Default scheduling priority for events.
+NORMAL = 1
+#: Priority for events that must fire before same-time NORMAL events.
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for violations of engine invariants (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Raised by a process to terminate itself early with a value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """A one-shot occurrence other processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (a time has been assigned and it sits in the event queue), and
+    *processed* (its callbacks have run).  Waiting processes resume with
+    the event's ``value`` — or have the stored exception re-raised inside
+    them if the event failed.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and the value is readable."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or its exception)."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire successfully at the current time."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, self.env.now, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire with an exception.
+
+        Any process waiting on the event will have ``exception`` raised
+        at its ``yield``.  If nothing ever waits, the environment raises
+        the exception at the end of the step to avoid silent failures.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, self.env.now, priority)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so it is not re-raised globally."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        env._schedule(self, env.now + delay, priority)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, env.now, URGENT)
+
+
+class Process(Event):
+    """Wrap a generator as a schedulable process.
+
+    The process is itself an :class:`Event` that fires when the
+    generator returns (with the return value / :class:`StopProcess`
+    value), so processes can wait on each other by yielding a process.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        The event the process was waiting on stays pending; the process
+        may re-wait on it after handling the interrupt.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has already terminated")
+        if self._target is None:
+            raise SimulationError(f"{self.name} is not waiting on anything")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, self.env.now, URGENT)
+
+    # -- generator stepping -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on (if any).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        if event._ok:
+            self._step(lambda: self._generator.send(event._value))
+        else:
+            event._defused = True
+            self._step(lambda: self._generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        """Run one generator step, re-stepping while yields are invalid."""
+        while True:
+            self.env._active_process = self
+            try:
+                target = advance()
+            except StopIteration as exc:
+                self._finish(True, exc.value)
+                return
+            except StopProcess as exc:
+                self._generator.close()
+                self._finish(True, exc.value)
+                return
+            except BaseException as exc:
+                self._finish(False, exc)
+                return
+            finally:
+                self.env._active_process = None
+            problem = self._validate_target(target)
+            if problem is None:
+                self._wait_on(target)
+                return
+            advance = lambda exc=problem: self._generator.throw(exc)  # noqa: E731
+
+    def _validate_target(self, target: Any) -> Optional[BaseException]:
+        if not isinstance(target, Event):
+            return TypeError(f"process {self.name} yielded {target!r}, "
+                             "which is not an Event")
+        if target.env is not self.env:
+            return SimulationError(
+                "yielded event belongs to another Environment")
+        return None
+
+    def _wait_on(self, target: Event) -> None:
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            passthrough = Event(self.env)
+            passthrough._ok = target._ok
+            passthrough._value = target._value
+            if not target._ok:
+                target._defused = True
+                passthrough._defused = True
+            passthrough.callbacks.append(self._resume)
+            self.env._schedule(passthrough, self.env.now, URGENT)
+            self._target = passthrough
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        self.env._schedule(self, self.env.now, NORMAL)
+
+
+class Condition(Event):
+    """Fires when ``predicate(triggered_count, total)`` becomes true.
+
+    The value of a fired condition is an ordered dict-like list of
+    ``(event, value)`` pairs for events that had triggered by then.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 predicate: Callable[[int, int], bool]):
+        super().__init__(env)
+        self._events = list(events)
+        self._predicate = predicate
+        self._count = 0
+        for event in self._events:
+            if event.env is not self.env:
+                raise SimulationError("events from mixed environments")
+        if self._predicate(0, len(self._events)) or not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._observe(event)
+                if self.triggered:
+                    return
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._predicate(self._count, len(self._events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> List[Tuple[Event, Any]]:
+        return [(event, event._value)
+                for event in self._events
+                if event.triggered and event._ok]
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda done, total: done >= total)
+
+
+class AnyOf(Condition):
+    """Condition that fires as soon as *any* event fires."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda done, total: done >= 1)
+
+
+class Environment:
+    """Owner of simulated time and the pending-event queue.
+
+    Time is a float; this package uses **microseconds** throughout, the
+    unit the paper reports latencies in.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event creation helpers ---------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` microseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator,
+                name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling and stepping ----------------------------------------------
+    def _schedule(self, event: Event, at: float, priority: int) -> None:
+        if at < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({at} < {self._now})")
+        self._eid += 1
+        heapq.heappush(self._queue, (at, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        at, _, _, event = heapq.heappop(self._queue)
+        self._now = at
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (stop when
+        simulated time reaches it), or an :class:`Event` (stop when it
+        fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) is in the past (now={self._now})")
+
+        while self._queue:
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+        if stop_event is not None:
+            raise SimulationError(
+                "run() until an event that can no longer fire")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

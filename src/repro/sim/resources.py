@@ -1,0 +1,163 @@
+"""Shared resources for simulated processes.
+
+Two primitives cover everything the network and node models need:
+
+* :class:`Resource` — a counted resource with FIFO request queueing.
+  Network links, NIC injection ports, and DMA engines are capacity-1
+  resources; a holder models occupancy by holding the grant for the
+  transfer duration.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``.
+  Message queues between NICs and the MPI matching layer are stores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "FilterStore"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Fires (succeeds) when the resource grants it.  Must be returned via
+    :meth:`Resource.release` when the holder is done.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with strict FIFO granting.
+
+    FIFO ordering is what makes link contention deterministic: requests
+    are granted in arrival order, with ties already resolved by the
+    engine's deterministic event ordering.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._waiting: Deque[Request] = deque()
+        self._users: set = set()
+
+    @property
+    def count(self) -> int:
+        """Number of grants currently outstanding."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted unit and wake the next waiter."""
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._waiting:
+            # Cancelled before being granted.
+            self._waiting.remove(req)
+            return
+        else:
+            raise SimulationError("release of a request not held")
+        if self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """Unbounded FIFO of items with blocking retrieval.
+
+    ``put`` never blocks (the simulated hardware queues we model are
+    large relative to the workloads); ``get`` returns an event that
+    fires with the oldest item once one is available.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items, oldest first."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters can select items by predicate.
+
+    Used by the MPI matching layer: a receive posted for a particular
+    (source, tag) envelope must take the oldest *matching* message, not
+    the oldest message outright.
+    """
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self._filter_getters: Deque[tuple] = deque()
+        self._getters = None  # type: ignore[assignment]  # unused here
+
+    def put(self, item: Any) -> None:
+        for idx, (event, predicate) in enumerate(self._filter_getters):
+            if predicate(item):
+                del self._filter_getters[idx]
+                event.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        if predicate is None:
+            predicate = lambda item: True  # noqa: E731 - trivial default
+        event = Event(self.env)
+        for idx, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[idx]
+                event.succeed(item)
+                return event
+        self._filter_getters.append((event, predicate))
+        return event

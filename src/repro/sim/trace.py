@@ -1,0 +1,56 @@
+"""Lightweight event tracing for the simulator.
+
+A :class:`Tracer` collects ``TraceRecord`` entries (time, category,
+node, detail).  Tracing is off by default and costs one predicate check
+per record when disabled; the node and network layers emit records for
+message injection, link occupancy, and collective phases, which the
+tests use to assert on *mechanism* (e.g. "the binomial broadcast really
+performed ceil(log2 p) rounds") rather than only on end-to-end times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence inside the simulator."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace records; disabled tracers drop records cheaply."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def emit(self, time: float, category: str, node: Optional[int] = None,
+             **detail: Any) -> None:
+        """Record an occurrence if tracing is enabled."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, node, detail))
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()

@@ -1,0 +1,129 @@
+"""Tests for the application kernels (STAP, 2-D FFT, sample sort)."""
+
+import pytest
+
+from repro.apps import (
+    FftGrid,
+    RadarCube,
+    SortJob,
+    simulate_fft2d,
+    simulate_samplesort,
+    simulate_stap,
+)
+
+
+# ---------------------------------------------------------------------------
+# Problem descriptions
+# ---------------------------------------------------------------------------
+
+def test_radar_cube_validation():
+    with pytest.raises(ValueError):
+        RadarCube(channels=0)
+
+
+def test_radar_cube_accounting():
+    cube = RadarCube(channels=4, pulses=8, ranges=16)
+    assert cube.cells == 512
+    assert cube.total_bytes == 4096
+    assert cube.corner_turn_bytes(4) == 4096 // 16
+    # Flops split evenly over nodes.
+    assert cube.doppler_flops_per_node(2) == \
+        2 * cube.doppler_flops_per_node(4)
+
+
+def test_fft_grid_validation():
+    with pytest.raises(ValueError):
+        FftGrid(n=1)
+
+
+def test_fft_transpose_tile_shrinks_quadratically():
+    grid = FftGrid(n=1024)
+    assert grid.transpose_bytes(4) == 16 * grid.transpose_bytes(16)
+
+
+def test_sort_job_validation():
+    with pytest.raises(ValueError):
+        SortJob(keys_per_node=0)
+    with pytest.raises(ValueError):
+        SortJob(oversample=0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end runs
+# ---------------------------------------------------------------------------
+
+SMALL_CUBE = RadarCube(channels=4, pulses=32, ranges=64)
+SMALL_GRID = FftGrid(n=256)
+SMALL_SORT = SortJob(keys_per_node=10_000)
+
+
+@pytest.mark.parametrize("machine", ["sp2", "t3d", "paragon"])
+def test_stap_runs_on_every_machine(machine):
+    result = simulate_stap(machine, 8, SMALL_CUBE)
+    assert result.total_us > 0
+    assert result.machine == machine
+    assert "comm:corner-turn" in result.phases
+    assert "compute:doppler" in result.phases
+    assert 0.0 < result.communication_fraction < 1.0
+
+
+def test_stap_phase_sum_equals_total():
+    result = simulate_stap("t3d", 8, SMALL_CUBE)
+    assert sum(result.phases.values()) == pytest.approx(result.total_us)
+    assert result.compute_us + result.communication_us == \
+        pytest.approx(result.total_us)
+
+
+def test_stap_compute_shrinks_with_nodes():
+    small = simulate_stap("t3d", 4, SMALL_CUBE)
+    large = simulate_stap("t3d", 16, SMALL_CUBE)
+    assert large.compute_us < small.compute_us
+
+
+def test_stap_communication_fraction_grows_with_nodes():
+    small = simulate_stap("sp2", 4, SMALL_CUBE)
+    large = simulate_stap("sp2", 32, SMALL_CUBE)
+    assert large.communication_fraction > small.communication_fraction
+
+
+def test_fft2d_runs_and_balances_row_col():
+    result = simulate_fft2d("t3d", 8, SMALL_GRID)
+    rows = result.phases["compute:row-ffts"]
+    cols = result.phases["compute:col-ffts"]
+    assert rows == pytest.approx(cols, rel=0.2)
+    assert "comm:transpose" in result.phases
+
+
+def test_fft2d_faster_on_faster_compute_machine():
+    sp2 = simulate_fft2d("sp2", 8, SMALL_GRID)
+    paragon = simulate_fft2d("paragon", 8, SMALL_GRID)
+    # The i860's lower sustained MFLOPS dominates this compute-heavy
+    # kernel.
+    assert sp2.compute_us < paragon.compute_us
+
+
+def test_samplesort_uses_four_collectives():
+    result = simulate_samplesort("sp2", 8, SMALL_SORT)
+    for phase in ("comm:sync", "comm:sample-gather",
+                  "comm:splitter-bcast", "comm:redistribute"):
+        assert phase in result.phases, phase
+
+
+def test_samplesort_root_does_extra_work():
+    # The root sorts the gathered samples; non-roots absorb that as
+    # wait time, so the total is consistent across ranks anyway.
+    result = simulate_samplesort("t3d", 8, SMALL_SORT)
+    assert result.total_us > 0
+
+
+def test_results_are_deterministic():
+    a = simulate_stap("paragon", 8, SMALL_CUBE, seed=3)
+    b = simulate_stap("paragon", 8, SMALL_CUBE, seed=3)
+    assert a.total_us == b.total_us
+    assert a.phases == b.phases
+
+
+def test_format_renders_breakdown():
+    text = simulate_stap("t3d", 4, SMALL_CUBE).format()
+    assert "STAP pipeline on t3d, 4 nodes" in text
+    assert "TOTAL" in text

@@ -1,0 +1,70 @@
+"""Tests for the run diagnostics collector."""
+
+from repro.bench import collect_diagnostics
+from repro.mpi import MpiWorld
+
+
+def run_world(machine, nodes, op, nbytes):
+    world = MpiWorld(machine, nodes, seed=4)
+
+    def program(ctx):
+        yield from ctx.collective(op, nbytes)
+        return None
+
+    world.run(program)
+    return world
+
+
+def test_counters_after_alltoall():
+    world = run_world("sp2", 8, "alltoall", 1024)
+    diag = collect_diagnostics(world)
+    assert diag.machine == "sp2"
+    assert diag.num_nodes == 8
+    assert diag.messages_delivered == 8 * 7
+    assert diag.nic_messages_sent == 8 * 7
+    assert diag.nic_messages_received == 8 * 7
+    # Buffered traffic stages through the memory bus on send and recv.
+    assert diag.memory_bytes_copied >= 2 * 8 * 7 * 1024
+    assert diag.total_link_bytes > 0
+
+
+def test_unexpected_rate_high_for_sequential_alltoall():
+    world = run_world("paragon", 8, "alltoall", 256)
+    diag = collect_diagnostics(world)
+    # The naive NX scheme sends everything before posting receives.
+    assert diag.unexpected_rate > 0.5
+
+
+def test_unexpected_rate_low_for_posted_alltoall():
+    world = run_world("sp2", 8, "alltoall", 256)
+    diag = collect_diagnostics(world)
+    assert diag.unexpected_rate < 0.2
+
+
+def test_dma_counter_on_t3d_scatter():
+    world = run_world("t3d", 8, "scatter", 65536)
+    diag = collect_diagnostics(world)
+    # Root streams 7 x 64 KB through the BLT.
+    assert diag.dma_bytes_streamed == 7 * 65536
+
+
+def test_hardware_barrier_touches_nothing():
+    world = run_world("t3d", 8, "barrier", 0)
+    diag = collect_diagnostics(world)
+    assert diag.messages_delivered == 0
+    assert diag.total_link_bytes == 0
+    assert diag.unexpected_rate == 0.0
+
+
+def test_busiest_links_sorted():
+    world = run_world("paragon", 16, "alltoall", 512)
+    diag = collect_diagnostics(world)
+    byte_counts = [nbytes for _, nbytes in diag.busiest_links]
+    assert byte_counts == sorted(byte_counts, reverse=True)
+
+
+def test_format_renders():
+    world = run_world("t3d", 4, "broadcast", 4096)
+    text = collect_diagnostics(world).format()
+    assert "diagnostics: t3d, 4 nodes" in text
+    assert "messages delivered" in text

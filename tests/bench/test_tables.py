@@ -1,0 +1,77 @@
+"""Tests for Table3Row comparison logic (without the full-grid sweep)."""
+
+import pytest
+
+from repro.bench import Table3Row, format_table3
+from repro.core import CONST_FORM, LINEAR_FORM, LOG_FORM, Term, \
+    TimingExpression
+
+
+def expr(machine, op, startup, per_byte):
+    return TimingExpression(machine, op, startup, per_byte)
+
+
+def make_row(fitted_startup, published_startup,
+             fitted_per_byte=None, published_per_byte=None,
+             op="broadcast"):
+    zero = Term(CONST_FORM, 0.0, 0.0)
+    return Table3Row(
+        machine="sp2", op=op,
+        fitted=expr("sp2", op, fitted_startup, fitted_per_byte or zero),
+        published=expr("sp2", op, published_startup,
+                       published_per_byte or zero))
+
+
+def test_startup_ratio():
+    row = make_row(Term(LOG_FORM, 50.0, 0.0), Term(LOG_FORM, 100.0, 0.0))
+    assert row.startup_ratio(32) == pytest.approx(0.5)
+
+
+def test_startup_ratio_guard():
+    row = make_row(Term(LOG_FORM, 50.0, 0.0), Term(CONST_FORM, 0.0, 0.0))
+    assert row.startup_ratio(32) != row.startup_ratio(32)  # NaN
+
+
+def test_per_byte_ratio():
+    row = make_row(Term(LOG_FORM, 1.0, 0.0), Term(LOG_FORM, 1.0, 0.0),
+                   Term(LINEAR_FORM, 0.02, 0.0),
+                   Term(LINEAR_FORM, 0.04, 0.0))
+    assert row.per_byte_ratio(32) == pytest.approx(0.5)
+
+
+def test_scaling_matches_same_form():
+    row = make_row(Term(LOG_FORM, 50.0, 1.0), Term(LOG_FORM, 60.0, 2.0))
+    assert row.scaling_matches()
+
+
+def test_scaling_mismatch_detected():
+    row = make_row(Term(LINEAR_FORM, 10.0, 0.0),
+                   Term(LOG_FORM, 60.0, 2.0))
+    assert not row.scaling_matches()
+
+
+def test_scaling_flat_curve_matches_either_form():
+    # A T3D-barrier-like flat fit: tiny linear coefficient against a
+    # large constant must match a published log form.
+    row = make_row(Term(LINEAR_FORM, 0.005, 3.3),
+                   Term(LOG_FORM, 0.011, 3.0))
+    assert row.scaling_matches()
+
+
+def test_format_table3_renders():
+    rows = {("sp2", "broadcast"): make_row(
+        Term(LOG_FORM, 50.0, 30.0), Term(LOG_FORM, 55.0, 30.0),
+        Term(LOG_FORM, 0.02, 0.0), Term(LOG_FORM, 0.014, 0.053))}
+    text = format_table3(rows)
+    assert "Table 3" in text
+    assert "broadcast" in text
+    assert "yes" in text
+
+
+def test_format_table3_barrier_has_no_per_byte_ratio():
+    rows = {("sp2", "barrier"): make_row(
+        Term(LOG_FORM, 100.0, 0.0), Term(LOG_FORM, 123.0, -90.0),
+        op="barrier")}
+    text = format_table3(rows)
+    lines = [line for line in text.splitlines() if "barrier" in line]
+    assert lines and lines[0].rstrip().endswith("-")

@@ -1,0 +1,75 @@
+"""Tests for the analytic (no-simulation) performance model."""
+
+import pytest
+
+from repro.core import MeasurementConfig, measure_collective
+from repro.core.analytic import AnalyticModel, predict_time_us
+from repro.machines import PARAGON, SP2, T3D, get_machine_spec
+
+CFG = MeasurementConfig(iterations=3, warmup_iterations=1, runs=1)
+
+ALL_OPS = ("barrier", "broadcast", "reduce", "scan", "scatter",
+           "gather", "alltoall", "allreduce", "allgather",
+           "reduce_scatter")
+
+
+@pytest.mark.parametrize("spec", [SP2, T3D, PARAGON])
+@pytest.mark.parametrize("op", ALL_OPS)
+def test_predict_every_op(spec, op):
+    value = predict_time_us(spec, op, 1024, 16)
+    assert value > 0
+
+
+def test_predict_validation_errors():
+    model = AnalyticModel(SP2)
+    with pytest.raises(ValueError):
+        model.predict("broadcast", 8, 1)
+    with pytest.raises(ValueError):
+        model.predict("broadcast", -1, 8)
+    with pytest.raises(ValueError):
+        model.predict("alltoallv", 8, 8)
+
+
+def test_prediction_monotone_in_message_size():
+    for spec in (SP2, T3D, PARAGON):
+        small = predict_time_us(spec, "broadcast", 4, 16)
+        large = predict_time_us(spec, "broadcast", 65536, 16)
+        assert large > small
+
+
+def test_prediction_monotone_in_machine_size():
+    for op in ("scatter", "alltoall", "broadcast"):
+        assert predict_time_us(SP2, op, 1024, 64) > \
+            predict_time_us(SP2, op, 1024, 8)
+
+
+def test_t3d_hardware_barrier_predicted_flat():
+    assert predict_time_us(T3D, "barrier", 0, 64) < 10.0
+    assert predict_time_us(SP2, "barrier", 0, 64) > 100.0
+
+
+@pytest.mark.parametrize("machine,op,nbytes,p", [
+    ("sp2", "broadcast", 4, 32),
+    ("sp2", "broadcast", 65536, 32),
+    ("sp2", "alltoall", 65536, 16),
+    ("sp2", "barrier", 0, 32),
+    ("t3d", "scatter", 65536, 32),
+    ("t3d", "scan", 1024, 16),
+    ("t3d", "alltoall", 4, 16),
+    ("paragon", "gather", 4, 32),
+    ("paragon", "reduce", 16384, 16),
+    ("paragon", "alltoall", 65536, 16),
+])
+def test_prediction_matches_simulation_within_40_percent(machine, op,
+                                                         nbytes, p):
+    spec = get_machine_spec(machine)
+    predicted = predict_time_us(spec, op, nbytes, p)
+    simulated = measure_collective(machine, op, nbytes, p, CFG).time_us
+    assert 0.6 < predicted / simulated < 1.4, (predicted, simulated)
+
+
+def test_prediction_is_pure():
+    # No simulation state: two calls agree exactly and are cheap.
+    a = predict_time_us(SP2, "alltoall", 65536, 128)
+    b = predict_time_us(SP2, "alltoall", 65536, 128)
+    assert a == b

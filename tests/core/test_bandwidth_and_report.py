@@ -1,0 +1,84 @@
+"""Tests for bandwidth derivations and report formatting."""
+
+import pytest
+
+from repro.core import (
+    aggregated_bandwidth_mbs,
+    estimate_rinf_two_point,
+    format_ratio,
+    format_series,
+    format_table,
+    format_us,
+    paper_expression,
+    rinf_from_expression,
+)
+
+
+def test_aggregated_bandwidth_example():
+    # 64-node total exchange of 64 KB in 317 ms -> ~847 MB/s per the
+    # paper's own arithmetic in Section 5.
+    bw = aggregated_bandwidth_mbs("alltoall", 65536, 64,
+                                  total_time_us=317000.0)
+    # paper rounds 64*63 to 64*64 = 256 MB; exact f gives ~795 MB/s.
+    assert bw == pytest.approx(795.0, rel=0.02)
+
+
+def test_aggregated_bandwidth_guard():
+    assert aggregated_bandwidth_mbs("broadcast", 64, 8, 10.0,
+                                    startup_us=20.0) == float("inf")
+
+
+def test_two_point_estimate_matches_formula():
+    expr = paper_expression("t3d", "alltoall")
+    samples = {16384: expr.evaluate(16384, 64),
+               65536: expr.evaluate(65536, 64)}
+    estimated = estimate_rinf_two_point("alltoall", 64, samples)
+    from_formula = rinf_from_expression(expr, 64)
+    assert estimated == pytest.approx(from_formula, rel=1e-6)
+
+
+def test_two_point_requires_two_samples():
+    with pytest.raises(ValueError):
+        estimate_rinf_two_point("alltoall", 64, {1024: 5.0})
+
+
+def test_two_point_flat_curve_is_infinite():
+    assert estimate_rinf_two_point("broadcast", 8,
+                                   {100: 5.0, 200: 5.0}) == float("inf")
+
+
+def test_format_us_units():
+    assert format_us(12.3) == "12.3 us"
+    assert format_us(4500.0) == "4.5 ms"
+    assert format_us(2_500_000.0) == "2.5 s"
+    assert format_us(float("inf")) == "inf"
+    assert format_us(float("nan")) == "n/a"
+
+
+def test_format_ratio():
+    assert format_ratio(200.0, 100.0) == "2.00x"
+    assert format_ratio(1.0, 0.0) == "n/a"
+
+
+def test_format_table_alignment():
+    table = format_table(["op", "time"],
+                         [["broadcast", "1.0"], ["scan", "22.5"]],
+                         title="demo")
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "op" in lines[1] and "time" in lines[1]
+    assert len(lines) == 5
+    # All data rows align on the separator column.
+    assert lines[3].index("|") == lines[4].index("|")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only one"]])
+
+
+def test_format_series():
+    out = format_series("t3d", {2: 35.0, 4: 58.1234})
+    assert out.startswith("t3d [us]:")
+    assert "2=35" in out
+    assert "4=58.12" in out

@@ -1,0 +1,110 @@
+"""Tests for timing expressions and the transcribed paper model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    HEADLINE,
+    LINEAR_FORM,
+    LOG_FORM,
+    PAPER_TABLE3,
+    RAW_HARDWARE,
+    Term,
+    TimingExpression,
+    paper_expression,
+)
+
+
+def test_term_evaluation_forms():
+    assert Term(LOG_FORM, 10.0, 5.0).evaluate(8) == pytest.approx(35.0)
+    assert Term(LINEAR_FORM, 2.0, 1.0).evaluate(8) == pytest.approx(17.0)
+    assert Term("const", 0.0, 7.0).evaluate(8) == 7.0
+
+
+def test_term_format():
+    assert Term(LINEAR_FORM, 24.0, 90.0).format() == "24 p + 90"
+    assert Term(LOG_FORM, 55.0, -30.0).format() == "55 log p - 30"
+    assert Term("const", 0.0, 3.0).format() == "3"
+
+
+def test_expression_format_matches_table3_style():
+    expr = paper_expression("t3d", "alltoall")
+    assert expr.format() == "(26 p + 8.6) + (0.038 p - 0.12) m"
+
+
+def test_barrier_expression_format_has_no_message_term():
+    assert paper_expression("t3d", "barrier").format() == \
+        "0.011 log p + 3"
+
+
+def test_paper_example_total_exchange_t3d():
+    # Section 8: m=512, p=64 -> 2.86 ms on the T3D.
+    expr = paper_expression("t3d", "alltoall")
+    assert expr.evaluate(512, 64) / 1000 == pytest.approx(2.86, rel=0.05)
+
+
+def test_paper_sp2_alltoall_64k_64nodes():
+    # Section 5: 317 ms (the formula gives ~325 ms; the paper quotes a
+    # measured 317).
+    expr = paper_expression("sp2", "alltoall")
+    assert expr.evaluate(65536, 64) / 1000 == pytest.approx(
+        HEADLINE["sp2_alltoall_64x64k_ms"], rel=0.05)
+
+
+def test_paper_t3d_startup_values_consistent_with_expressions():
+    # Section 4's quoted 64-node startup latencies should be close to
+    # Table 3's startup terms evaluated at p=64.
+    quoted = HEADLINE["t3d_startup_64_us"]
+    for op, value in quoted.items():
+        formula = paper_expression("t3d", op).startup_latency_us(64)
+        assert formula == pytest.approx(value, rel=0.35), op
+
+
+def test_paper_aggregated_bandwidth_64_matches_abstract():
+    # Abstract: 1.745 / 0.879 / 0.818 GB/s for T3D / Paragon / SP2.
+    for machine, gbs in HEADLINE["alltoall_rinf_64_gbs"].items():
+        expr = paper_expression(machine, "alltoall")
+        computed = expr.aggregated_bandwidth_mbs(64) / 1024.0
+        assert computed == pytest.approx(gbs, rel=0.1), machine
+
+
+def test_paper_table_complete():
+    ops = {"barrier", "broadcast", "scan", "gather", "scatter", "reduce",
+           "alltoall"}
+    machines = {"sp2", "t3d", "paragon"}
+    assert set(PAPER_TABLE3) == {(m, o) for m in machines for o in ops}
+
+
+def test_paper_scaling_classes():
+    # Section 8: O(log p) startup for barrier/scan/reduce/broadcast,
+    # O(p) for gather/scatter/total exchange.
+    for machine in ("sp2", "t3d", "paragon"):
+        for op in ("barrier", "broadcast", "scan", "reduce"):
+            assert paper_expression(machine, op).startup.form == LOG_FORM
+        for op in ("gather", "scatter", "alltoall"):
+            assert paper_expression(machine, op).startup.form == \
+                LINEAR_FORM
+
+
+def test_unknown_paper_entry_rejected():
+    with pytest.raises(KeyError):
+        paper_expression("sp2", "allgather")
+
+
+def test_raw_hardware_bandwidth_ordering():
+    assert RAW_HARDWARE["t3d"]["network_bandwidth_mbs"] > \
+        RAW_HARDWARE["paragon"]["network_bandwidth_mbs"] > \
+        RAW_HARDWARE["sp2"]["network_bandwidth_mbs"]
+
+
+def test_barrier_has_infinite_bandwidth():
+    assert paper_expression("sp2", "barrier") \
+        .aggregated_bandwidth_mbs(64) == float("inf")
+
+
+def test_transmission_delay_linear_in_m():
+    expr = paper_expression("sp2", "broadcast")
+    d1 = expr.transmission_delay_us(1000, 32)
+    d2 = expr.transmission_delay_us(2000, 32)
+    assert d2 == pytest.approx(2 * d1)

@@ -1,0 +1,138 @@
+"""Tests for the two-stage curve-fitting pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LINEAR_FORM,
+    LOG_FORM,
+    Term,
+    classify_scaling,
+    fit_line,
+    fit_message_length_slices,
+    fit_term,
+    fit_timing_expression,
+)
+
+
+def test_fit_line_exact():
+    slope, intercept, r2 = fit_line([1, 2, 3, 4], [3, 5, 7, 9])
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_fit_line_degenerate_single_point():
+    slope, intercept, r2 = fit_line([5.0], [42.0])
+    assert slope == 0.0
+    assert intercept == 42.0
+
+
+def test_fit_line_constant_x():
+    slope, intercept, _ = fit_line([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+    assert slope == 0.0
+    assert intercept == pytest.approx(2.0)
+
+
+def test_fit_line_rejects_mismatch_and_empty():
+    with pytest.raises(ValueError):
+        fit_line([1, 2], [1])
+    with pytest.raises(ValueError):
+        fit_line([], [])
+
+
+def test_fit_term_recovers_log_form():
+    ps = [2, 4, 8, 16, 32, 64]
+    values = [55.0 * math.log2(p) + 30.0 for p in ps]
+    term = fit_term(ps, values)
+    assert term.form == LOG_FORM
+    assert term.coef == pytest.approx(55.0)
+    assert term.const == pytest.approx(30.0)
+
+
+def test_fit_term_recovers_linear_form():
+    ps = [2, 4, 8, 16, 32, 64]
+    values = [3.7 * p + 128.0 for p in ps]
+    term = fit_term(ps, values)
+    assert term.form == LINEAR_FORM
+    assert term.coef == pytest.approx(3.7)
+    assert term.const == pytest.approx(128.0)
+
+
+def test_fit_term_with_noise_still_classifies():
+    rng = np.random.default_rng(1)
+    ps = [2, 4, 8, 16, 32, 64, 128]
+    values = [24.0 * p + 90.0 + rng.normal(0, 5) for p in ps]
+    assert classify_scaling(ps, values) == LINEAR_FORM
+    values = [123.0 * math.log2(p) - 90.0 + rng.normal(0, 5) for p in ps]
+    assert classify_scaling(ps, values) == LOG_FORM
+
+
+def test_fit_term_rejects_bad_input():
+    with pytest.raises(ValueError):
+        fit_term([1, 2], [1.0])
+    with pytest.raises(ValueError):
+        fit_term([0, 2], [1.0, 2.0])
+
+
+def test_fit_message_length_slices():
+    samples = {
+        4: {0: 100.0, 1000: 150.0, 2000: 200.0},
+        8: {0: 200.0, 1000: 300.0, 2000: 400.0},
+    }
+    intercepts, slopes = fit_message_length_slices(samples)
+    assert intercepts[4] == pytest.approx(100.0)
+    assert slopes[4] == pytest.approx(0.05)
+    assert intercepts[8] == pytest.approx(200.0)
+    assert slopes[8] == pytest.approx(0.1)
+
+
+def test_fit_timing_expression_roundtrip():
+    # Build synthetic data from a Table-3-like formula and verify the
+    # fitting pipeline recovers it.
+    def model(m, p):
+        return (26.0 * p + 8.6) + (0.038 * p - 0.12) * m
+
+    samples = {p: {m: model(m, p) for m in (4, 256, 4096, 65536)}
+               for p in (2, 4, 8, 16, 32, 64)}
+    expression = fit_timing_expression("t3d", "alltoall", samples)
+    assert expression.startup.form == LINEAR_FORM
+    assert expression.startup.coef == pytest.approx(26.0, rel=1e-6)
+    assert expression.per_byte.form == LINEAR_FORM
+    assert expression.per_byte.coef == pytest.approx(0.038, rel=1e-6)
+    assert expression.evaluate(512, 64) == pytest.approx(model(512, 64))
+
+
+def test_fit_timing_expression_barrier():
+    samples = {p: {0: 123.0 * math.log2(p) - 90.0}
+               for p in (2, 4, 8, 16, 32)}
+    expression = fit_timing_expression("sp2", "barrier", samples)
+    assert expression.startup.form == LOG_FORM
+    assert expression.per_byte.evaluate(64) == 0.0
+
+
+def test_fit_timing_expression_empty_rejected():
+    with pytest.raises(ValueError):
+        fit_timing_expression("sp2", "broadcast", {})
+
+
+def test_term_validation():
+    with pytest.raises(ValueError):
+        Term("cubic", 1.0, 0.0)
+    with pytest.raises(ValueError):
+        Term(LOG_FORM, 1.0, 0.0).evaluate(0)
+
+
+@given(st.floats(0.1, 100), st.floats(-50, 200))
+@settings(max_examples=40, deadline=None)
+def test_fit_term_exact_recovery_property(coef, const):
+    ps = [2, 4, 8, 16, 32, 64, 128]
+    values = [coef * math.log2(p) + const for p in ps]
+    term = fit_term(ps, values)
+    for p in ps:
+        assert term.evaluate(p) == pytest.approx(
+            coef * math.log2(p) + const, rel=1e-6, abs=1e-6)

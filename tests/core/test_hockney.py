@@ -1,0 +1,62 @@
+"""Tests for the Hockney point-to-point model."""
+
+import pytest
+
+from repro.core import HockneyFit, fit_hockney, measure_pingpong
+
+
+def test_pingpong_monotone_in_size():
+    small = measure_pingpong("t3d", 4)
+    large = measure_pingpong("t3d", 65536)
+    assert large > small
+
+
+def test_pingpong_repetitions_validated():
+    with pytest.raises(ValueError):
+        measure_pingpong("t3d", 4, repetitions=0)
+
+
+def test_fit_recovers_nic_bandwidth():
+    # r_inf must land on the host-driven NIC rate: 40 / 100 / 175 MB/s.
+    for machine, expected in (("sp2", 40.0), ("t3d", 100.0),
+                              ("paragon", 175.0)):
+        fit = fit_hockney(machine)
+        assert fit.r_inf_mbs == pytest.approx(expected, rel=0.05), \
+            machine
+        assert fit.r_squared > 0.999
+
+
+def test_latency_ranking_t3d_best():
+    fits = {m: fit_hockney(m) for m in ("sp2", "t3d", "paragon")}
+    assert fits["t3d"].latency_us < fits["sp2"].latency_us
+    assert fits["t3d"].latency_us < fits["paragon"].latency_us
+
+
+def test_n_half_definition():
+    fit = HockneyFit(machine="x", latency_us=50.0, r_inf_mbs=100.0,
+                     r_squared=1.0)
+    # At m = n_half the effective bandwidth is half of r_inf.
+    assert fit.bandwidth_mbs(fit.n_half_bytes) == pytest.approx(50.0)
+
+
+def test_predicted_time_matches_measured():
+    fit = fit_hockney("sp2")
+    measured = measure_pingpong("sp2", 16384)
+    assert fit.time_us(16384) == pytest.approx(measured, rel=0.15)
+
+
+def test_hockney_does_not_predict_collective_ranking():
+    # The paper's point: the Paragon has the highest p2p r_inf of the
+    # three, yet is the slowest machine for short-message collectives.
+    from repro.core import MeasurementConfig, measure_startup_latency
+    cfg = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1)
+    fits = {m: fit_hockney(m) for m in ("sp2", "t3d", "paragon")}
+    assert max(fits, key=lambda m: fits[m].r_inf_mbs) == "paragon"
+    startup = {m: measure_startup_latency(m, "alltoall", 16, cfg).time_us
+               for m in ("sp2", "t3d", "paragon")}
+    assert max(startup, key=startup.get) == "paragon"
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_hockney("t3d", sizes=[64])

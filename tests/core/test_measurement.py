@@ -1,0 +1,100 @@
+"""Tests for the paper's measurement procedure on the simulator."""
+
+import pytest
+
+from repro.core import (
+    MeasurementConfig,
+    QUICK_CONFIG,
+    STARTUP_PROBE_BYTES,
+    measure_collective,
+    measure_startup_latency,
+)
+
+FAST = MeasurementConfig(iterations=2, warmup_iterations=1, runs=2,
+                         seed=11)
+
+
+def test_measurement_returns_sample_fields():
+    sample = measure_collective("t3d", "broadcast", 1024, 8, FAST)
+    assert sample.op == "broadcast"
+    assert sample.machine == "t3d"
+    assert sample.nbytes == 1024
+    assert sample.num_nodes == 8
+    assert len(sample.run_times_us) == 2
+    assert sample.process_min_us <= sample.process_mean_us <= \
+        sample.process_max_us
+    assert sample.time_us > 0
+
+
+def test_measurement_is_reproducible():
+    a = measure_collective("sp2", "reduce", 256, 4, FAST)
+    b = measure_collective("sp2", "reduce", 256, 4, FAST)
+    assert a.time_us == b.time_us
+    assert a.run_times_us == b.run_times_us
+
+
+def test_different_seeds_differ():
+    a = measure_collective("sp2", "reduce", 256, 4, FAST)
+    other = MeasurementConfig(iterations=2, warmup_iterations=1, runs=2,
+                              seed=99)
+    b = measure_collective("sp2", "reduce", 256, 4, other)
+    assert a.time_us != b.time_us
+
+
+def test_runs_vary_with_jitter():
+    sample = measure_collective("paragon", "gather", 512, 8, FAST)
+    assert len(set(sample.run_times_us)) > 1
+
+
+def test_warmup_discard_lowers_time():
+    # Without warm-up discard the first-touch penalty lands inside the
+    # timed loop, inflating the average.
+    cold = MeasurementConfig(iterations=2, warmup_iterations=0, runs=1,
+                             seed=5)
+    warm = MeasurementConfig(iterations=2, warmup_iterations=1, runs=1,
+                             seed=5)
+    t_cold = measure_collective("sp2", "broadcast", 4096, 8, cold).time_us
+    t_warm = measure_collective("sp2", "broadcast", 4096, 8, warm).time_us
+    assert t_cold > t_warm
+
+
+def test_startup_probe_uses_short_message():
+    sample = measure_startup_latency("t3d", "broadcast", 8, FAST)
+    assert sample.nbytes == STARTUP_PROBE_BYTES
+
+
+def test_startup_probe_barrier_uses_zero_bytes():
+    sample = measure_startup_latency("t3d", "barrier", 8, FAST)
+    assert sample.nbytes == 0
+
+
+def test_longer_message_never_faster():
+    small = measure_collective("t3d", "alltoall", 16, 8, FAST).time_us
+    large = measure_collective("t3d", "alltoall", 65536, 8, FAST).time_us
+    assert large > small
+
+
+def test_more_nodes_never_faster_for_linear_ops():
+    few = measure_collective("paragon", "scatter", 1024, 4, FAST).time_us
+    many = measure_collective("paragon", "scatter", 1024, 16, FAST).time_us
+    assert many > few
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MeasurementConfig(iterations=0)
+    with pytest.raises(ValueError):
+        MeasurementConfig(warmup_iterations=-1)
+    with pytest.raises(ValueError):
+        MeasurementConfig(runs=0)
+
+
+def test_quick_config_cheaper_than_paper():
+    assert QUICK_CONFIG.iterations < 20
+    assert QUICK_CONFIG.runs < 5
+
+
+def test_max_reduce_uses_slowest_process():
+    # The reported time must be >= the mean over processes.
+    sample = measure_collective("sp2", "gather", 1024, 8, FAST)
+    assert sample.process_max_us >= sample.process_mean_us

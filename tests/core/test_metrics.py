@@ -1,0 +1,90 @@
+"""Tests for the performance metrics (Table 2 / Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollectiveSample,
+    aggregated_length_factor,
+    aggregated_message_length,
+)
+
+
+def test_one_to_many_factor():
+    for op in ("broadcast", "scatter", "gather", "reduce", "scan"):
+        assert aggregated_length_factor(op, 64) == 63
+
+
+def test_alltoall_factor():
+    assert aggregated_length_factor("alltoall", 64) == 64 * 63
+
+
+def test_barrier_moves_no_payload():
+    assert aggregated_length_factor("barrier", 64) == 0
+
+
+def test_aggregated_length_example_from_paper():
+    # Section 5: 64 KB x 64 nodes total exchange = 256 MB total.
+    total = aggregated_message_length("alltoall", 65536, 64)
+    assert total == 65536 * 64 * 63
+    assert total / 2 ** 20 == pytest.approx(258048 / 1024)  # ~252 MiB
+
+
+def test_extension_factors():
+    assert aggregated_length_factor("allreduce", 8) == 14
+    assert aggregated_length_factor("allgather", 8) == 7 + 56
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        aggregated_length_factor("alltoallv", 8)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        aggregated_message_length("broadcast", -1, 8)
+    with pytest.raises(ValueError):
+        aggregated_length_factor("broadcast", 0)
+
+
+@given(st.sampled_from(["broadcast", "scatter", "gather", "reduce",
+                        "scan", "alltoall"]),
+       st.integers(1, 4096), st.integers(2, 256))
+@settings(max_examples=80, deadline=None)
+def test_aggregated_length_scales_linearly_in_m(op, m, p):
+    assert aggregated_message_length(op, 2 * m, p) == \
+        2 * aggregated_message_length(op, m, p)
+
+
+@given(st.integers(2, 128))
+@settings(max_examples=30, deadline=None)
+def test_alltoall_dominates_one_to_many(p):
+    assert aggregated_length_factor("alltoall", p) >= \
+        aggregated_length_factor("broadcast", p)
+
+
+def make_sample(op="broadcast", nbytes=1024, p=8, time_us=500.0):
+    return CollectiveSample(
+        op=op, machine="sp2", nbytes=nbytes, num_nodes=p,
+        time_us=time_us, run_times_us=(time_us,),
+        process_min_us=time_us * 0.9, process_mean_us=time_us * 0.95,
+        process_max_us=time_us)
+
+
+def test_sample_aggregated_bytes():
+    sample = make_sample(op="alltoall", nbytes=100, p=4)
+    assert sample.aggregated_bytes == 100 * 4 * 3
+
+
+def test_sample_bandwidth_subtracts_startup():
+    sample = make_sample(time_us=1100.0)
+    bw = sample.aggregated_bandwidth_mbs(startup_us=100.0)
+    expected = (1024 * 7 / 1000.0) / 1.048576
+    assert bw == pytest.approx(expected)
+
+
+def test_sample_bandwidth_infinite_when_startup_dominates():
+    sample = make_sample(time_us=50.0)
+    assert sample.aggregated_bandwidth_mbs(startup_us=60.0) == \
+        float("inf")

@@ -1,0 +1,77 @@
+"""Calibration anchors: guard the machine models against drift.
+
+These pin the simulator to the paper's headline numbers with explicit
+tolerances.  If a future change to the transport, algorithms, or
+machine parameters moves any anchor outside its band, the reproduction
+has regressed — EXPERIMENTS.md documents why each anchor matters.
+"""
+
+import pytest
+
+from repro.core import (
+    MeasurementConfig,
+    estimate_rinf_two_point,
+    measure_collective,
+    measure_startup_latency,
+)
+
+CFG = MeasurementConfig(iterations=3, warmup_iterations=1, runs=1,
+                        seed=1997)
+
+#: (machine, op, p) -> (paper startup us, tolerance factor)
+STARTUP_ANCHORS = {
+    ("t3d", "broadcast", 64): (150.0, 1.35),
+    ("t3d", "alltoall", 64): (1700.0, 1.35),
+    ("t3d", "scatter", 64): (298.0, 1.35),
+    ("t3d", "gather", 64): (365.0, 1.35),
+    ("t3d", "scan", 64): (209.0, 1.35),
+    ("t3d", "reduce", 64): (253.0, 1.35),
+    ("sp2", "broadcast", 32): (305.0, 1.35),   # 55 log 32 + 30
+    ("paragon", "alltoall", 32): (3186.0, 1.35),  # 97 * 32 + 82
+}
+
+
+@pytest.mark.parametrize("key", sorted(STARTUP_ANCHORS))
+def test_startup_anchor(key):
+    machine, op, p = key
+    paper, factor = STARTUP_ANCHORS[key]
+    simulated = measure_startup_latency(machine, op, p, CFG).time_us
+    assert paper / factor < simulated < paper * factor, \
+        (key, simulated, paper)
+
+
+def test_anchor_t3d_barrier():
+    simulated = measure_collective("t3d", "barrier", 0, 64, CFG).time_us
+    assert 2.0 < simulated < 6.0
+
+
+def test_anchor_sp2_64node_64kb_alltoall():
+    simulated = measure_collective("sp2", "alltoall", 65536, 64,
+                                   CFG).time_us
+    assert 317_000 / 1.3 < simulated < 317_000 * 1.3
+
+
+def test_anchor_alltoall_bandwidth_ordering_and_values():
+    rinf = {}
+    for machine in ("t3d", "paragon", "sp2"):
+        samples = {m: measure_collective(machine, "alltoall", m, 64,
+                                         CFG).time_us
+                   for m in (16384, 65536)}
+        rinf[machine] = estimate_rinf_two_point("alltoall", 64,
+                                                samples) / 1024.0
+    assert rinf["t3d"] > rinf["paragon"] > rinf["sp2"], rinf
+    assert rinf["t3d"] == pytest.approx(1.745, rel=0.30)
+    assert rinf["paragon"] == pytest.approx(0.879, rel=0.30)
+    assert rinf["sp2"] == pytest.approx(0.818, rel=0.30)
+
+
+def test_anchor_scan_crossover_band():
+    # Paragon must win scan startup at 16+ nodes, T3D below 8.
+    t3d_16 = measure_startup_latency("t3d", "scan", 16, CFG).time_us
+    paragon_16 = measure_startup_latency("paragon", "scan", 16,
+                                         CFG).time_us
+    assert paragon_16 < t3d_16
+    t3d_4 = measure_startup_latency("t3d", "scan", 4, CFG).time_us
+    paragon_4 = measure_startup_latency("paragon", "scan", 4,
+                                        CFG).time_us
+    assert t3d_4 < paragon_4

@@ -1,0 +1,64 @@
+"""Property test: arbitrary collective sequences always complete.
+
+hypothesis composes random programs (sequences of collectives with
+random sizes and roots) and runs them on random machines: nothing may
+deadlock, every rank must finish, and no message may be left behind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import COLLECTIVE_OPS, MpiWorld
+
+
+@st.composite
+def collective_sequences(draw):
+    length = draw(st.integers(1, 5))
+    sequence = []
+    for _ in range(length):
+        op = draw(st.sampled_from(COLLECTIVE_OPS))
+        nbytes = 0 if op == "barrier" else \
+            draw(st.sampled_from([0, 4, 512, 8192]))
+        root_pick = draw(st.integers(0, 7))
+        sequence.append((op, nbytes, root_pick))
+    return sequence
+
+
+@given(st.sampled_from(["sp2", "t3d", "paragon"]),
+       st.integers(2, 9),
+       collective_sequences())
+@settings(max_examples=40, deadline=None)
+def test_random_collective_sequences_complete(machine, size, sequence):
+    world = MpiWorld(machine, size, seed=17)
+
+    def program(ctx):
+        for op, nbytes, root_pick in sequence:
+            yield from ctx.collective(op, nbytes, root=root_pick % size)
+        return ctx.env.now
+
+    finish = world.run(program)
+    assert len(finish) == size
+    transport = world.comm.transport
+    for rank in range(size):
+        assert transport.pending_unexpected(rank) == 0, sequence
+        assert transport.pending_posted(rank) == 0, sequence
+
+
+@given(st.integers(2, 8), st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_interleaved_ptp_and_collectives(size, extra_tag):
+    # Point-to-point traffic between collectives must not interfere
+    # with collective tag matching.
+    world = MpiWorld("t3d", size, seed=3)
+
+    def program(ctx):
+        yield from ctx.bcast(128)
+        if ctx.rank == 0:
+            yield from ctx.send(size - 1, 64, tag=extra_tag)
+        if ctx.rank == size - 1:
+            yield from ctx.recv(0, tag=extra_tag)
+        yield from ctx.alltoall(32)
+        yield from ctx.barrier()
+        return True
+
+    assert all(world.run(program))

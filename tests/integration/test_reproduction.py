@@ -1,0 +1,132 @@
+"""End-to-end reproduction checks at small scale.
+
+Cheap (p <= 32) versions of the paper's central claims, so the unit
+suite continuously guards the reproduction while the full-scale
+versions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core import (
+    MeasurementConfig,
+    measure_collective,
+    measure_startup_latency,
+    paper_expression,
+)
+
+CFG = MeasurementConfig(iterations=3, warmup_iterations=1, runs=1,
+                        seed=23)
+
+
+def t0(machine, op, p):
+    return measure_startup_latency(machine, op, p, CFG).time_us
+
+
+def t(machine, op, m, p):
+    return measure_collective(machine, op, m, p, CFG).time_us
+
+
+def test_t3d_barrier_is_microseconds_not_hundreds():
+    assert t("t3d", "barrier", 0, 32) < 10.0
+
+
+def test_t3d_barrier_at_least_30x_faster():
+    t3d = t("t3d", "barrier", 0, 32)
+    assert t("sp2", "barrier", 0, 32) > 30 * t3d
+    assert t("paragon", "barrier", 0, 32) > 30 * t3d
+
+
+def test_t3d_lowest_broadcast_startup():
+    values = {m: t0(m, "broadcast", 32)
+              for m in ("sp2", "t3d", "paragon")}
+    assert min(values, key=values.get) == "t3d"
+
+
+def test_t3d_two_node_broadcast_around_35us():
+    # Paper: "The lowest latency of using the T3D is 35 us to
+    # broadcast a message to two nodes."
+    value = t0("t3d", "broadcast", 2)
+    assert 20.0 < value < 55.0
+
+
+def test_paragon_worst_alltoall_startup():
+    values = {m: t0(m, "alltoall", 16)
+              for m in ("sp2", "t3d", "paragon")}
+    assert max(values, key=values.get) == "paragon"
+    # "about 4 to 15 times greater" (prose) / ~4x (Table 3 fits).
+    assert values["paragon"] > 3 * min(values.values())
+
+
+def test_sp2_beats_paragon_short_messages():
+    # Abstract: "For short messages, the SP2 outperforms the Paragon in
+    # the barrier, total exchange, scatter, and gather operations."
+    for op in ("barrier", "alltoall", "scatter", "gather"):
+        probe = 0 if op == "barrier" else 16
+        assert t("sp2", op, probe, 16) < t("paragon", op, probe, 16), op
+
+
+def test_paragon_beats_sp2_long_messages():
+    # Abstract: "The Paragon outperforms the SP2 in almost all
+    # collective operations with long messages."
+    for op in ("broadcast", "alltoall", "scatter", "gather"):
+        assert t("paragon", op, 65536, 16) < t("sp2", op, 65536, 16), op
+
+
+def test_sp2_beats_paragon_long_reduce():
+    # ... "except the reduce operation".
+    assert t("sp2", "reduce", 65536, 16) < t("paragon", "reduce",
+                                             65536, 16)
+
+
+def test_sp2_paragon_crossover_exists():
+    # Section 5's crossover: SP2 faster for short alltoall, Paragon
+    # faster for long.
+    assert t("sp2", "alltoall", 16, 16) < t("paragon", "alltoall", 16, 16)
+    assert t("paragon", "alltoall", 65536, 16) < \
+        t("sp2", "alltoall", 65536, 16)
+
+
+def test_paragon_scan_wins_at_16_nodes():
+    # Conclusions: the T3D trails "the Paragon in performing the scan
+    # operation on 16 nodes or more".
+    values = {m: t0(m, "scan", 16) for m in ("sp2", "t3d", "paragon")}
+    assert min(values, key=values.get) == "paragon"
+
+
+def test_t3d_scan_wins_below_16_nodes():
+    values = {m: t0(m, "scan", 4) for m in ("sp2", "t3d", "paragon")}
+    assert min(values, key=values.get) == "t3d"
+
+
+def test_startup_against_published_fit_within_2x():
+    # Spot checks of T0 against Table 3's startup terms.
+    for machine in ("sp2", "t3d", "paragon"):
+        for op in ("broadcast", "scatter", "alltoall", "reduce"):
+            simulated = t0(machine, op, 16)
+            published = paper_expression(machine, op) \
+                .startup_latency_us(16)
+            assert 0.5 < simulated / published < 2.0, \
+                (machine, op, simulated, published)
+
+
+def test_total_time_against_published_fit_within_2x():
+    for machine in ("sp2", "t3d", "paragon"):
+        for op in ("broadcast", "alltoall"):
+            simulated = t(machine, op, 16384, 16)
+            published = paper_expression(machine, op).evaluate(16384, 16)
+            assert 0.4 < simulated / published < 2.2, \
+                (machine, op, simulated, published)
+
+
+def test_transmission_dominates_beyond_4kb():
+    # Section 5: beyond 4 KB the transmission delay dominates.
+    for machine in ("sp2", "t3d", "paragon"):
+        startup = t0(machine, "broadcast", 16)
+        total = t(machine, "broadcast", 16384, 16)
+        assert total > 2 * startup, machine
+
+
+def test_deterministic_end_to_end():
+    first = t("t3d", "alltoall", 1024, 8)
+    second = t("t3d", "alltoall", 1024, 8)
+    assert first == second

@@ -1,0 +1,56 @@
+"""Tests for the interference (per-node CPU slowdown) model."""
+
+import pytest
+
+from repro.machines import Machine, SP2
+from repro.mpi import MpiWorld
+from repro.sim import Environment
+
+
+def test_slowdown_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Machine(env, SP2, 4, cpu_slowdown={9: 2.0})
+    with pytest.raises(ValueError):
+        Machine(env, SP2, 4, cpu_slowdown={0: 0.5})
+
+
+def test_slowdown_multiplies_jitter():
+    env = Environment()
+    dedicated = Machine(env, SP2, 4)
+    loaded = Machine(Environment(), SP2, 4, cpu_slowdown={1: 3.0})
+    # Same streams/seed: the slowdown is a clean multiplier.
+    assert loaded.jitter(1) == pytest.approx(3.0 * dedicated.jitter(1))
+    assert loaded.jitter(0) == pytest.approx(dedicated.jitter(0))
+
+
+def run_gather(cpu_slowdown=None):
+    world = MpiWorld("sp2", 8, seed=6, cpu_slowdown=cpu_slowdown)
+
+    def program(ctx):
+        yield from ctx.barrier()
+        start = ctx.wtime()
+        yield from ctx.gather(1024, root=0)
+        return ctx.wtime() - start
+
+    return world.run(program)
+
+
+def test_straggler_inflates_collective_time():
+    dedicated = max(run_gather())
+    loaded = max(run_gather(cpu_slowdown={3: 5.0}))
+    assert loaded > dedicated
+
+
+def test_straggler_on_root_hurts_most():
+    # The gather root's per-message cost is on the critical path; a
+    # slow root hurts more than an equally slow leaf.
+    slow_leaf = max(run_gather(cpu_slowdown={5: 5.0}))
+    slow_root = max(run_gather(cpu_slowdown={0: 5.0}))
+    assert slow_root > slow_leaf
+
+
+def test_dedicated_mode_is_default():
+    env = Environment()
+    machine = Machine(env, SP2, 4)
+    assert machine.cpu_slowdown == {}

@@ -1,0 +1,135 @@
+"""Tests for machine specifications and the runtime builder."""
+
+import pytest
+
+from repro.machines import (
+    PARAGON,
+    SP2,
+    T3D,
+    Machine,
+    MachineSpec,
+    MemoryCosts,
+    NetworkSpec,
+    NicCosts,
+    SoftwareCosts,
+    all_machine_specs,
+    get_machine_spec,
+    machine_names,
+    register_machine_spec,
+)
+from repro.network import Mesh2D, OmegaNetwork, Torus3D
+from repro.sim import Environment
+
+
+def test_registry_has_the_three_machines():
+    assert machine_names() == ["sp2", "t3d", "paragon"]
+    assert get_machine_spec("SP2") is SP2
+    assert get_machine_spec("t3d") is T3D
+    assert get_machine_spec("Paragon") is PARAGON
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(KeyError, match="unknown machine"):
+        get_machine_spec("cm5")
+
+
+def test_register_custom_spec_no_overwrite():
+    with pytest.raises(ValueError):
+        register_machine_spec(SP2)
+
+
+def test_topology_families_match_the_paper():
+    env = Environment()
+    assert isinstance(Machine(env, SP2, 16).topology, OmegaNetwork)
+    assert isinstance(Machine(env, T3D, 16).topology, Torus3D)
+    assert isinstance(Machine(env, PARAGON, 16).topology, Mesh2D)
+
+
+def test_only_t3d_has_hardware_barrier():
+    env = Environment()
+    assert Machine(env, T3D, 8).hardware_barrier is not None
+    assert Machine(env, SP2, 8).hardware_barrier is None
+    assert Machine(env, PARAGON, 8).hardware_barrier is None
+
+
+def test_only_sp2_is_half_duplex():
+    assert SP2.nic.half_duplex
+    assert not T3D.nic.half_duplex
+    assert not PARAGON.nic.half_duplex
+
+
+def test_t3d_has_blt_paragon_has_coproc():
+    from repro.node import TransferMode
+    assert T3D.dma is not None and T3D.dma.kind is TransferMode.BLT
+    assert PARAGON.dma is not None and \
+        PARAGON.dma.kind is TransferMode.COPROC
+    assert SP2.dma is None
+
+
+def test_raw_link_bandwidths_match_paper():
+    # Section 5: 300, 175, and 40 MB/s.
+    assert T3D.network.link_bandwidth_mbs == 300.0
+    assert PARAGON.network.link_bandwidth_mbs == 175.0
+    assert SP2.network.link_bandwidth_mbs == 40.0
+
+
+def test_hop_latencies_match_paper():
+    # Section 4: 20 ns, 125 ns, 40 ns per hop.
+    assert T3D.network.hop_latency_us == pytest.approx(0.020)
+    assert SP2.network.hop_latency_us == pytest.approx(0.125)
+    assert PARAGON.network.hop_latency_us == pytest.approx(0.040)
+
+
+def test_all_specs_define_all_paper_ops():
+    for spec in all_machine_specs():
+        for op in ("barrier", "broadcast", "gather", "scatter", "reduce",
+                   "scan", "alltoall"):
+            assert spec.algorithm_for(op)
+
+
+def test_algorithm_for_unknown_op():
+    with pytest.raises(KeyError):
+        SP2.algorithm_for("alltoallw")
+
+
+def test_machine_size_bounds():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Machine(env, SP2, 1)
+    with pytest.raises(ValueError):
+        Machine(env, SP2, 129)
+
+
+def test_spec_requires_two_nodes():
+    with pytest.raises(ValueError):
+        MachineSpec(
+            name="tiny", full_name="Tiny", site="lab", max_nodes=1,
+            software=SP2.software, memory=MemoryCosts(0.01),
+            nic=NicCosts(1.0, 10.0),
+            network=NetworkSpec("mesh2d", 10.0, 0.1))
+
+
+def test_node_clocks_are_skewed_but_deterministic():
+    env1 = Environment()
+    machine1 = Machine(env1, SP2, 4)
+    env2 = Environment()
+    machine2 = Machine(env2, SP2, 4)
+    offsets1 = [node.clock.offset_us for node in machine1.nodes]
+    offsets2 = [node.clock.offset_us for node in machine2.nodes]
+    assert offsets1 == offsets2  # same seed -> same machine
+    assert len(set(offsets1)) > 1  # but nodes disagree
+
+
+def test_uses_dma_for_policy():
+    assert T3D.uses_dma_for("scatter")
+    assert not T3D.uses_dma_for("alltoall")
+    assert PARAGON.uses_dma_for("broadcast")
+    assert not PARAGON.uses_dma_for("alltoall")
+    assert not SP2.uses_dma_for("scatter")
+
+
+def test_unknown_network_kind_rejected():
+    spec = NetworkSpec(kind="hypercube", link_bandwidth_mbs=10.0,
+                       hop_latency_us=0.1)
+    with pytest.raises(ValueError):
+        spec.build_topology(8)

@@ -1,0 +1,102 @@
+"""Structural tests of the collective algorithms (who talks to whom)."""
+
+import pytest
+
+from repro.mpi import MpiWorld
+
+
+def nic_counts(machine, nodes, op, nbytes=64, algorithm=None, seed=3):
+    spec = machine
+    if algorithm is not None:
+        from dataclasses import replace
+        from repro.machines import get_machine_spec
+        base = get_machine_spec(machine)
+        spec = replace(base, name=f"{base.name}-struct",
+                       algorithms={**dict(base.algorithms),
+                                   op: algorithm})
+    world = MpiWorld(spec, nodes, seed=seed)
+
+    def program(ctx):
+        yield from ctx.collective(op, nbytes)
+        return None
+
+    world.run(program)
+    return ([node.nic.messages_sent for node in world.machine.nodes],
+            [node.nic.messages_received for node in world.machine.nodes])
+
+
+def test_binomial_broadcast_root_sends_log_p():
+    sent, received = nic_counts("sp2", 16, "broadcast")
+    assert sent[0] == 4  # log2(16) children
+    assert received[0] == 0
+    assert all(r == 1 for r in received[1:])  # everyone receives once
+    # vrank 15 (0b1111) is a pure leaf.
+    assert sent[15] == 0
+
+
+def test_binomial_reduce_root_receives_log_p():
+    sent, received = nic_counts("sp2", 16, "reduce")
+    assert received[0] == 4
+    assert sent[0] == 0
+    assert all(s == 1 for s in sent[1:])
+
+
+def test_binary_tree_reduce_interior_receives_two():
+    sent, received = nic_counts("t3d", 15, "reduce")  # full binary tree
+    assert received[0] == 2
+    # Interior vranks 1..6 receive two and send one.
+    for v in range(1, 7):
+        assert received[v] == 2, v
+        assert sent[v] == 1, v
+    # Leaves 7..14 only send.
+    for v in range(7, 15):
+        assert received[v] == 0
+        assert sent[v] == 1
+
+
+def test_linear_gather_root_receives_all():
+    sent, received = nic_counts("paragon", 8, "gather")
+    assert received[0] == 7
+    assert all(s == 1 for s in sent[1:])
+
+
+def test_linear_scatter_root_sends_all():
+    sent, received = nic_counts("paragon", 8, "scatter")
+    assert sent[0] == 7
+    assert all(r == 1 for r in received[1:])
+
+
+def test_posted_alltoall_symmetric_load():
+    sent, received = nic_counts("sp2", 8, "alltoall")
+    assert all(s == 7 for s in sent)
+    assert all(r == 7 for r in received)
+
+
+def test_tree_barrier_root_degree():
+    sent, received = nic_counts("sp2", 8, "barrier", nbytes=0)
+    # Root: receives log p arrivals, sends log p releases.
+    assert received[0] == 3
+    assert sent[0] == 3
+
+
+def test_nonzero_root_shifts_structure():
+    world = MpiWorld("sp2", 8, seed=3)
+
+    def program(ctx):
+        yield from ctx.bcast(64, root=3)
+        return None
+
+    world.run(program)
+    nodes = world.machine.nodes
+    assert nodes[3].nic.messages_sent == 3
+    assert nodes[3].nic.messages_received == 0
+    assert nodes[0].nic.messages_received == 1
+
+
+def test_vandegeijn_root_degree():
+    sent, _ = nic_counts("sp2", 8, "broadcast",
+                         algorithm="scatter_allgather_broadcast")
+    # Root: 7 scatter chunks + 7 ring steps.
+    assert sent[0] == 14
+    # Non-roots: 7 ring sends each.
+    assert all(s == 7 for s in sent[1:])

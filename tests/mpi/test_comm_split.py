@@ -1,0 +1,149 @@
+"""Tests for MPI_Comm_split and sub-communicator semantics."""
+
+import pytest
+
+from repro.mpi import MpiError, MpiWorld
+
+
+def test_split_halves_sizes_and_ranks():
+    world = MpiWorld("sp2", 8, seed=1)
+
+    def program(ctx):
+        half = yield from ctx.comm_split(color=ctx.rank // 4)
+        return (half.size, half.rank, half.world_rank)
+
+    results = world.run(program)
+    assert all(size == 4 for size, _, _ in results)
+    # Local ranks restart at 0 in each half, world ranks are preserved.
+    assert [r[1] for r in results] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert [r[2] for r in results] == list(range(8))
+
+
+def test_split_key_reorders_ranks():
+    world = MpiWorld("sp2", 4, seed=1)
+
+    def program(ctx):
+        child = yield from ctx.comm_split(color=0, key=-ctx.rank)
+        return child.rank
+
+    results = world.run(program)
+    # Descending keys invert the ordering.
+    assert results == [3, 2, 1, 0]
+
+
+def test_split_undefined_color_returns_none():
+    world = MpiWorld("t3d", 4, seed=1)
+
+    def program(ctx):
+        child = yield from ctx.comm_split(
+            color=None if ctx.rank == 0 else 1)
+        return child if child is None else child.size
+
+    results = world.run(program)
+    assert results[0] is None
+    assert results[1:] == [3, 3, 3]
+
+
+def test_collectives_within_subcommunicator():
+    world = MpiWorld("sp2", 8, seed=1)
+
+    def program(ctx):
+        half = yield from ctx.comm_split(color=ctx.rank % 2)
+        yield from half.bcast(1024, root=0)
+        yield from half.barrier()
+        return half.rank
+
+    results = world.run(program)
+    assert len(results) == 8
+
+
+def test_disjoint_collectives_run_concurrently():
+    # Two halves broadcasting at once should take about the time of one
+    # half's broadcast, not two serialized ones (separate fences).
+    def elapsed(split):
+        world = MpiWorld("sp2", 8, seed=1)
+
+        def program(ctx):
+            if split:
+                comm = yield from ctx.comm_split(color=ctx.rank // 4)
+            else:
+                comm = ctx
+            for _ in range(4):
+                yield from comm.bcast(256, root=0)
+            return None
+
+        world.run(program)
+        return world.now
+
+    assert elapsed(True) < 1.25 * elapsed(False)
+
+
+def test_subcomm_messages_do_not_leak_across_comms():
+    world = MpiWorld("t3d", 4, seed=1)
+
+    def program(ctx):
+        child = yield from ctx.comm_split(color=ctx.rank // 2)
+        # Same (src, tag) shape in both comms; payload sizes differ so
+        # a cross-comm match would be visible.
+        if child.rank == 0:
+            yield from child.send(1, 100 * (1 + ctx.rank // 2), tag=7)
+            return None
+        envelope = yield from child.recv(0, tag=7)
+        return envelope.nbytes
+
+    results = world.run(program)
+    assert results[1] == 100   # from world rank 0
+    assert results[3] == 200   # from world rank 2
+
+
+def test_t3d_subcomm_barrier_falls_back_to_software():
+    world = MpiWorld("t3d", 8, seed=1)
+
+    def program(ctx):
+        sub = yield from ctx.comm_split(color=ctx.rank // 4)
+        yield from sub.barrier()
+        return None
+
+    world.run(program)
+    # The software fallback exchanges messages; the hardwired barrier
+    # would not.
+    assert world.comm.transport.messages_delivered > 0
+
+
+def test_world_barrier_still_hardwired_on_t3d():
+    world = MpiWorld("t3d", 8, seed=1)
+
+    def program(ctx):
+        yield from ctx.barrier()
+        return None
+
+    world.run(program)
+    assert world.comm.transport.messages_delivered == 0
+
+
+def test_nested_splits():
+    world = MpiWorld("paragon", 8, seed=1)
+
+    def program(ctx):
+        half = yield from ctx.comm_split(color=ctx.rank // 4)
+        quarter = yield from half.comm_split(color=half.rank // 2)
+        yield from quarter.barrier()
+        return (quarter.size, quarter.world_rank)
+
+    results = world.run(program)
+    assert all(size == 2 for size, _ in results)
+    assert [wr for _, wr in results] == list(range(8))
+
+
+def test_double_split_call_same_round_rejected():
+    world = MpiWorld("sp2", 2, seed=1)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.comm.register_split(0, 0, 0)
+            with pytest.raises(MpiError):
+                ctx.comm.register_split(0, 0, 0)
+        yield from ctx.delay(1.0)
+        return None
+
+    world.run(program)

@@ -1,0 +1,115 @@
+"""Tests for the RankContext public API surface."""
+
+import pytest
+
+from repro.mpi import MpiWorld
+
+
+def run(program, machine="t3d", nodes=4, **kwargs):
+    return MpiWorld(machine, nodes, seed=8, **kwargs).run(program)
+
+
+def test_rank_and_size_visible():
+    def program(ctx):
+        yield from ctx.delay(1.0)
+        return (ctx.rank, ctx.size)
+
+    results = run(program)
+    assert results == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_log2_size():
+    def program(ctx):
+        yield from ctx.delay(1.0)
+        return ctx.log2_size()
+
+    assert run(program, nodes=8)[0] == 3
+    assert run(program, nodes=5)[0] == 3
+    assert run(program, nodes=2)[0] == 1
+
+
+def test_wtime_monotone_per_rank():
+    def program(ctx):
+        readings = [ctx.wtime()]
+        for _ in range(5):
+            yield from ctx.delay(10.0)
+            readings.append(ctx.wtime())
+        return readings
+
+    for readings in run(program):
+        assert readings == sorted(readings)
+
+
+def test_wtime_differs_across_ranks():
+    def program(ctx):
+        yield from ctx.delay(1.0)
+        return ctx.wtime()
+
+    readings = run(program)
+    assert len(set(readings)) > 1  # skewed clocks
+
+
+def test_delay_is_jittered_but_positive():
+    def program(ctx):
+        start = ctx.env.now
+        yield from ctx.delay(100.0)
+        return ctx.env.now - start
+
+    durations = run(program)
+    assert all(50.0 < d < 200.0 for d in durations)
+    assert len(set(durations)) > 1
+
+
+def test_collective_rejects_negative_bytes():
+    def program(ctx):
+        yield from ctx.collective("broadcast", -4)
+
+    with pytest.raises(Exception):
+        run(program)
+
+
+def test_node_one_process_per_node():
+    def program(ctx):
+        yield from ctx.delay(1.0)
+        return ctx.node.index
+
+    assert run(program) == [0, 1, 2, 3]
+
+
+def test_world_rank_equals_rank_on_world_comm():
+    def program(ctx):
+        yield from ctx.delay(1.0)
+        return ctx.world_rank == ctx.rank
+
+    assert all(run(program))
+
+
+def test_sendrecv_roundtrip_time_positive():
+    def program(ctx):
+        if ctx.rank == 0:
+            start = ctx.wtime()
+            yield from ctx.send(1, 512, tag="ping")
+            yield from ctx.recv(1, tag="pong")
+            return ctx.wtime() - start
+        if ctx.rank == 1:
+            yield from ctx.recv(0, tag="ping")
+            yield from ctx.send(0, 512, tag="pong")
+        return None
+
+    rtt = run(program)[0]
+    assert rtt > 0
+
+
+def test_run_collective_many_iterations_accumulate():
+    # The first iteration carries the warm-up penalty, so compare the
+    # marginal cost of extra iterations instead of naive multiples.
+    one = MpiWorld("t3d", 4, seed=8).run_collective(
+        "broadcast", 256, iterations=1)
+    three = MpiWorld("t3d", 4, seed=8).run_collective(
+        "broadcast", 256, iterations=3)
+    five = MpiWorld("t3d", 4, seed=8).run_collective(
+        "broadcast", 256, iterations=5)
+    assert three > one
+    marginal_35 = (five - three) / 2
+    marginal_13 = (three - one) / 2
+    assert marginal_35 == pytest.approx(marginal_13, rel=0.3)

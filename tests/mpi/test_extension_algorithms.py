@@ -1,0 +1,97 @@
+"""Tests for the improved (further-work) collective algorithms."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.mpi import MpiWorld
+from repro.machines import SP2, T3D
+
+
+def _with_algorithm(spec, op, algorithm):
+    return replace(spec, name=f"{spec.name}-ext",
+                   algorithms={**dict(spec.algorithms), op: algorithm})
+
+
+def run_op(spec, nodes, op, nbytes, seed=9):
+    world = MpiWorld(spec, nodes, seed=seed)
+
+    def program(ctx):
+        yield from ctx.collective(op, nbytes)
+        return ctx.env.now
+
+    finish = world.run(program)
+    return world, max(finish)
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 7, 8, 16])
+def test_vandegeijn_broadcast_completes(nodes):
+    spec = _with_algorithm(SP2, "broadcast",
+                           "scatter_allgather_broadcast")
+    world, _ = run_op(spec, nodes, "broadcast", 4096)
+    # Scatter: p-1 messages; ring: p (p-1) messages.
+    expected = (nodes - 1) + nodes * (nodes - 1)
+    assert world.comm.transport.messages_delivered == expected
+
+
+def test_vandegeijn_wins_long_messages_on_sp2():
+    binomial = run_op(SP2, 16, "broadcast", 262144)[1]
+    vdg_spec = _with_algorithm(SP2, "broadcast",
+                               "scatter_allgather_broadcast")
+    vandegeijn = run_op(vdg_spec, 16, "broadcast", 262144)[1]
+    assert vandegeijn < binomial
+
+
+def test_binomial_wins_short_messages_on_sp2():
+    binomial = run_op(SP2, 16, "broadcast", 4)[1]
+    vdg_spec = _with_algorithm(SP2, "broadcast",
+                               "scatter_allgather_broadcast")
+    vandegeijn = run_op(vdg_spec, 16, "broadcast", 4)[1]
+    assert binomial < vandegeijn
+
+
+@pytest.mark.parametrize("nodes", [2, 3, 8, 12])
+def test_ring_allgather_completes(nodes):
+    spec = _with_algorithm(T3D, "allgather", "ring_allgather")
+    world, _ = run_op(spec, nodes, "allgather", 1024)
+    assert world.comm.transport.messages_delivered == \
+        nodes * (nodes - 1)
+
+
+def test_ring_allgather_beats_gather_broadcast_for_long_blocks():
+    composed = run_op(T3D, 16, "allgather", 65536)[1]
+    ring_spec = _with_algorithm(T3D, "allgather", "ring_allgather")
+    ring = run_op(ring_spec, 16, "allgather", 65536)[1]
+    assert ring < composed
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8, 11, 16])
+def test_binomial_gather_completes(nodes):
+    spec = _with_algorithm(SP2, "gather", "binomial_tree_gather")
+    world, _ = run_op(spec, nodes, "gather", 512)
+    # Binomial gather: one message per non-root vertex of the tree.
+    assert world.comm.transport.messages_delivered == nodes - 1
+
+
+def test_binomial_gather_lower_latency_at_scale():
+    linear = run_op(SP2, 64, "gather", 4)[1]
+    tree_spec = _with_algorithm(SP2, "gather", "binomial_tree_gather")
+    tree = run_op(tree_spec, 64, "gather", 4)[1]
+    assert tree < linear
+
+
+def test_binomial_gather_aggregates_subtree_bytes():
+    # The root's children forward whole subtree segments: total bytes
+    # through the transport exceed (p-1) * m.
+    spec = _with_algorithm(SP2, "gather", "binomial_tree_gather")
+    world = MpiWorld(spec, 8, seed=9)
+    sizes = []
+
+    def program(ctx):
+        yield from ctx.collective("gather", 100)
+        return None
+
+    world.run(program)
+    nic_bytes = sum(node.nic.messages_sent for node in
+                    world.machine.nodes)
+    assert nic_bytes == 7  # 7 messages, but carrying 700 bytes total

@@ -1,0 +1,90 @@
+"""Property-based tests for the transport: conservation and matching.
+
+hypothesis generates random point-to-point traffic patterns; the
+transport must deliver every message exactly once to the right
+receiver, regardless of posting order, sizes, or timing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MpiWorld
+
+
+@st.composite
+def traffic_patterns(draw):
+    """A random set of (src, dst, nbytes, delay) sends on 4 ranks."""
+    n_messages = draw(st.integers(1, 12))
+    messages = []
+    for index in range(n_messages):
+        src = draw(st.integers(0, 3))
+        dst = draw(st.integers(0, 3).filter(lambda d: d != src))
+        nbytes = draw(st.sampled_from([0, 4, 128, 4096, 65536]))
+        sender_delay = draw(st.floats(0.0, 500.0))
+        receiver_delay = draw(st.floats(0.0, 500.0))
+        messages.append((index, src, dst, nbytes, sender_delay,
+                         receiver_delay))
+    return messages
+
+
+@given(traffic_patterns())
+@settings(max_examples=40, deadline=None)
+def test_every_message_delivered_exactly_once(messages):
+    world = MpiWorld("t3d", 4, seed=5)
+    received = []
+
+    def program(ctx):
+        my_sends = [m for m in messages if m[1] == ctx.rank]
+        my_recvs = [m for m in messages if m[2] == ctx.rank]
+        # Post receives (some early, some late) in a subprocess per
+        # message so posting order varies with the draws.
+        for index, src, _, nbytes, _, recv_delay in my_recvs:
+            def receiver(index=index, src=src, delay=recv_delay):
+                yield from ctx.delay(delay)
+                envelope = yield from ctx.recv(src, tag=index)
+                received.append((index, envelope.nbytes))
+            ctx.env.process(receiver())
+        for index, _, dst, nbytes, send_delay, _ in my_sends:
+            yield from ctx.delay(send_delay)
+            yield from ctx.send(dst, nbytes, tag=index)
+        return None
+
+    world.run(program)
+    world.env.run()  # drain receiver subprocesses
+    assert sorted(index for index, _ in received) == \
+        sorted(m[0] for m in messages)
+    by_index = dict(received)
+    for index, _, _, nbytes, _, _ in messages:
+        assert by_index[index] == nbytes
+
+
+@given(st.integers(2, 12), st.integers(0, 65536))
+@settings(max_examples=25, deadline=None)
+def test_broadcast_always_terminates_and_orders_root_first(size, nbytes):
+    world = MpiWorld("paragon", size, seed=2)
+
+    def program(ctx):
+        yield from ctx.bcast(nbytes, root=0)
+        return ctx.env.now
+
+    finish = world.run(program)
+    assert len(finish) == size
+    assert finish[0] <= max(finish)
+
+
+@given(st.sampled_from(["sp2", "t3d", "paragon"]),
+       st.integers(2, 10))
+@settings(max_examples=20, deadline=None)
+def test_alltoall_conserves_messages(machine, size):
+    world = MpiWorld(machine, size, seed=4)
+
+    def program(ctx):
+        yield from ctx.alltoall(64)
+        return None
+
+    world.run(program)
+    transport = world.comm.transport
+    assert transport.messages_delivered == size * (size - 1)
+    for rank in range(size):
+        assert transport.pending_unexpected(rank) == 0
+        assert transport.pending_posted(rank) == 0

@@ -1,0 +1,94 @@
+"""Property-based tests of the fabric: conservation and completion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import LinkParameters, Mesh2D, NetworkFabric, \
+    OmegaNetwork, Torus3D
+from repro.sim import Environment
+
+PARAMS = LinkParameters(hop_latency_us=0.05, bandwidth_mbs=200.0)
+
+TOPOLOGIES = {
+    "mesh": lambda: Mesh2D(4, 4),
+    "torus": lambda: Torus3D(2, 4, 2),
+    "omega": lambda: OmegaNetwork(16, radix=4),
+}
+
+
+@st.composite
+def transfer_sets(draw):
+    count = draw(st.integers(1, 15))
+    return [(draw(st.integers(0, 15)), draw(st.integers(0, 15)),
+             draw(st.sampled_from([0, 64, 4096])))
+            for _ in range(count)]
+
+
+@given(st.sampled_from(sorted(TOPOLOGIES)), transfer_sets())
+@settings(max_examples=50, deadline=None)
+def test_all_transfers_complete_and_bytes_conserved(kind, transfers):
+    env = Environment()
+    topology = TOPOLOGIES[kind]()
+    fabric = NetworkFabric(env, topology, PARAMS)
+    finished = []
+
+    def mover(src, dst, nbytes):
+        yield from fabric.transfer(src, dst, nbytes)
+        finished.append((src, dst, nbytes))
+
+    for src, dst, nbytes in transfers:
+        env.process(mover(src, dst, nbytes))
+    env.run()
+    assert len(finished) == len(transfers)
+
+    # Byte conservation: each link carried exactly the bytes of the
+    # messages routed over it.
+    expected = {}
+    for src, dst, nbytes in transfers:
+        for link in topology.route(src, dst):
+            expected[link] = expected.get(link, 0) + nbytes
+    observed = fabric.utilisation()
+    for link, nbytes in expected.items():
+        observed_bytes = observed.get(link, 0)
+        assert observed_bytes == nbytes, (link, observed_bytes, nbytes)
+    # No link carried traffic that was never routed over it.
+    for link, nbytes in observed.items():
+        assert expected.get(link, 0) == nbytes
+
+
+@given(st.sampled_from(sorted(TOPOLOGIES)), st.integers(0, 15),
+       st.integers(0, 15), st.integers(0, 1 << 16))
+@settings(max_examples=50, deadline=None)
+def test_uncontended_time_matches_formula(kind, src, dst, nbytes):
+    env = Environment()
+    topology = TOPOLOGIES[kind]()
+    fabric = NetworkFabric(env, topology, PARAMS)
+    elapsed = {}
+
+    def mover():
+        start = env.now
+        yield from fabric.transfer(src, dst, nbytes)
+        elapsed["value"] = env.now - start
+
+    env.process(mover())
+    env.run()
+    if src == dst:
+        assert elapsed["value"] == 0.0
+    else:
+        assert elapsed["value"] == \
+            fabric.transfer_time(src, dst, nbytes)
+
+
+@given(transfer_sets())
+@settings(max_examples=30, deadline=None)
+def test_contention_never_speeds_things_up(transfers):
+    def total_time(contention):
+        env = Environment()
+        fabric = NetworkFabric(env, Mesh2D(4, 4), PARAMS,
+                               contention=contention)
+        for src, dst, nbytes in transfers:
+            env.process(fabric.transfer(src, dst, nbytes))
+        env.run()
+        return env.now
+
+    assert total_time(True) >= total_time(False) - 1e-9

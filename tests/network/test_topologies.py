@@ -1,0 +1,261 @@
+"""Unit and property tests for the three interconnect topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Mesh2D, OmegaNetwork, Torus3D
+
+
+# ---------------------------------------------------------------------------
+# 2-D mesh (Paragon)
+# ---------------------------------------------------------------------------
+
+def test_mesh_coordinates_roundtrip():
+    mesh = Mesh2D(4, 3)
+    for node in range(12):
+        x, y = mesh.coordinates(node)
+        assert mesh.node_at(x, y) == node
+
+
+def test_mesh_distance_is_manhattan():
+    mesh = Mesh2D(8, 8)
+    a = mesh.node_at(1, 2)
+    b = mesh.node_at(6, 7)
+    assert mesh.distance(a, b) == 5 + 5
+
+
+def test_mesh_route_is_x_then_y():
+    mesh = Mesh2D(4, 4)
+    route = mesh.route(mesh.node_at(0, 0), mesh.node_at(2, 2))
+    # First two hops move in X, last two in Y.
+    assert route[0] == ("mesh", (0, 0), (1, 0))
+    assert route[1] == ("mesh", (1, 0), (2, 0))
+    assert route[2] == ("mesh", (2, 0), (2, 1))
+    assert route[3] == ("mesh", (2, 1), (2, 2))
+
+
+def test_mesh_self_route_empty():
+    mesh = Mesh2D(4, 4)
+    assert mesh.route(5, 5) == []
+    assert mesh.distance(5, 5) == 0
+
+
+def test_mesh_link_count():
+    mesh = Mesh2D(3, 2)
+    # Directed links: horizontal 2*2*2=8, vertical 3*1*2=6.
+    assert len(mesh.links()) == 14
+
+
+def test_mesh_for_nodes_prefers_square():
+    assert (Mesh2D.for_nodes(64).width, Mesh2D.for_nodes(64).height) == (8, 8)
+    assert (Mesh2D.for_nodes(32).width, Mesh2D.for_nodes(32).height) == (4, 8)
+    assert Mesh2D.for_nodes(2).num_nodes == 2
+
+
+def test_mesh_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        Mesh2D(0, 4)
+    with pytest.raises(ValueError):
+        Mesh2D.for_nodes(0)
+
+
+def test_mesh_out_of_range_node():
+    mesh = Mesh2D(2, 2)
+    with pytest.raises(ValueError):
+        mesh.route(0, 4)
+    with pytest.raises(ValueError):
+        mesh.coordinates(-1)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+@settings(max_examples=60, deadline=None)
+def test_mesh_route_links_exist_and_chain(src, dst):
+    mesh = Mesh2D(8, 8)
+    links = set(mesh.links())
+    route = mesh.route(src, dst)
+    assert len(route) == mesh.distance(src, dst)
+    prev_end = mesh.coordinates(src)
+    for link in route:
+        assert link in links
+        kind, a, b = link
+        assert a == prev_end
+        prev_end = b
+    if route:
+        assert prev_end == mesh.coordinates(dst)
+
+
+# ---------------------------------------------------------------------------
+# 3-D torus (T3D)
+# ---------------------------------------------------------------------------
+
+def test_torus_coordinates_roundtrip():
+    torus = Torus3D(4, 4, 4)
+    for node in range(64):
+        x, y, z = torus.coordinates(node)
+        assert torus.node_at(x, y, z) == node
+
+
+def test_torus_wraparound_shortens_route():
+    torus = Torus3D(8, 1, 1)
+    # 0 -> 7 is one hop around the wrap link, not seven.
+    assert torus.distance(0, 7) == 1
+    assert torus.distance(0, 4) == 4  # half-way: either way is 4
+
+
+def test_torus_distance_sums_dimensions():
+    torus = Torus3D(4, 4, 4)
+    a = torus.node_at(0, 0, 0)
+    b = torus.node_at(2, 3, 1)
+    # x: 2, y: min(3, 1)=1, z: 1.
+    assert torus.distance(a, b) == 4
+
+
+def test_torus_for_nodes_prefers_cube():
+    assert Torus3D.for_nodes(64).shape == (4, 4, 4)
+    assert Torus3D.for_nodes(8).shape == (2, 2, 2)
+    assert sorted(Torus3D.for_nodes(32).shape) == [2, 4, 4]
+
+
+def test_torus_size_two_ring_has_unique_links():
+    torus = Torus3D(2, 2, 2)
+    links = torus.links()
+    assert len(links) == len(set(links))
+
+
+def test_torus_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        Torus3D(0, 2, 2)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+@settings(max_examples=60, deadline=None)
+def test_torus_route_valid_and_minimal(src, dst):
+    torus = Torus3D(4, 4, 4)
+    links = set(torus.links())
+    route = torus.route(src, dst)
+    assert len(route) == torus.distance(src, dst)
+    for link in route:
+        assert link in links
+    # Route follows adjacency: each hop changes exactly one axis by 1 mod n.
+    pos = torus.coordinates(src)
+    for _, axis, a, b in route:
+        assert a == pos
+        diff = [(b[i] - a[i]) % torus.shape[i] for i in range(3)]
+        changed = [i for i in range(3) if diff[i] != 0]
+        assert changed == [axis]
+        assert diff[axis] in (1, torus.shape[axis] - 1)
+        pos = b
+    assert pos == torus.coordinates(dst)
+
+
+@given(st.integers(0, 31), st.integers(0, 31))
+@settings(max_examples=40, deadline=None)
+def test_torus_distance_symmetric(src, dst):
+    torus = Torus3D(4, 4, 2)
+    assert torus.distance(src, dst) == torus.distance(dst, src)
+
+
+# ---------------------------------------------------------------------------
+# Omega multistage network (SP2)
+# ---------------------------------------------------------------------------
+
+def test_omega_stage_count():
+    assert OmegaNetwork(16, radix=4).stages == 2
+    assert OmegaNetwork(64, radix=4).stages == 3
+    assert OmegaNetwork(128, radix=4).stages == 4  # padded to 256 ports
+    assert OmegaNetwork(8, radix=2).stages == 3
+
+
+def test_omega_pads_to_power_of_radix():
+    net = OmegaNetwork(12, radix=4)
+    assert net.ports == 16
+    assert net.num_nodes == 12
+
+
+def test_omega_routing_lands_on_destination():
+    net = OmegaNetwork(16, radix=2)
+    for src in range(16):
+        for dst in range(16):
+            assert net.positions(src, dst)[-1] == dst
+
+
+def test_omega_distance_uniform_log():
+    net = OmegaNetwork(64, radix=4)
+    assert net.distance(0, 63) == 3
+    assert net.distance(5, 6) == 3
+    assert net.distance(9, 9) == 0
+
+
+def test_omega_route_links_are_stagewise():
+    net = OmegaNetwork(16, radix=4)
+    route = net.route(3, 12)
+    assert len(route) == 2
+    assert [link[1] for link in route] == [0, 1]
+    links = set(net.links())
+    for link in route:
+        assert link in links
+
+
+def test_omega_disjoint_routes_share_no_links():
+    # Identity permutation is conflict-free in an Omega network.
+    net = OmegaNetwork(16, radix=2)
+    used = set()
+    for node in range(16):
+        for link in net.route(node, node):
+            assert link not in used
+            used.add(link)
+
+
+def test_omega_blocking_exists():
+    # Omega networks are blocking: some pairs of routes share a wire.
+    net = OmegaNetwork(16, radix=2)
+    routes = {}
+    shared = False
+    for src in range(16):
+        for dst in range(16):
+            if src == dst:
+                continue
+            for link in net.route(src, dst):
+                if link in routes and routes[link] != (src, dst):
+                    shared = True
+                routes[link] = (src, dst)
+    assert shared
+
+
+def test_omega_rejects_bad_radix():
+    with pytest.raises(ValueError):
+        OmegaNetwork(16, radix=1)
+
+
+@given(st.integers(0, 127), st.integers(0, 127))
+@settings(max_examples=60, deadline=None)
+def test_omega_routes_deterministic_and_valid(src, dst):
+    net = OmegaNetwork(128, radix=4)
+    route1 = net.route(src, dst)
+    route2 = net.route(src, dst)
+    assert route1 == route2
+    if src != dst:
+        assert len(route1) == net.stages
+        assert route1[-1] == ("ms", net.stages - 1, dst)
+
+
+# ---------------------------------------------------------------------------
+# Shared topology behaviour
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("topology", [
+    Mesh2D(4, 4),
+    Torus3D(2, 4, 2),
+    OmegaNetwork(16, radix=4),
+])
+def test_average_distance_positive(topology):
+    avg = topology.average_distance()
+    assert 0 < avg <= topology.diameter()
+
+
+def test_single_node_topology_trivial():
+    mesh = Mesh2D(1, 1)
+    assert mesh.average_distance() == 0.0
+    assert mesh.diameter() == 0
+    assert mesh.links() == []

@@ -1,0 +1,168 @@
+"""Edge-case tests for the engine: conditions, interrupts, priorities."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_condition_fails_if_member_fails():
+    env = Environment()
+    good = env.timeout(1.0)
+    bad = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield env.all_of([good, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(0.5)
+        bad.fail(RuntimeError("member died"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["member died"]
+
+
+def test_any_of_with_already_fired_event():
+    env = Environment()
+    instant = env.event()
+    instant.succeed("now")
+
+    def waiter():
+        yield env.timeout(1.0)  # let `instant` be processed first
+        result = yield env.any_of([instant, env.timeout(50.0)])
+        return (env.now, [value for _, value in result])
+
+    p = env.process(waiter())
+    env.run()
+    assert p.value[0] == 1.0
+    assert "now" in p.value[1]
+
+
+def test_all_of_collects_values_in_member_order():
+    env = Environment()
+
+    def waiter():
+        first = env.timeout(2.0, value="a")
+        second = env.timeout(1.0, value="b")
+        result = yield env.all_of([first, second])
+        return [value for _, value in result]
+
+    p = env.process(waiter())
+    env.run()
+    assert p.value == ["a", "b"]
+
+
+def test_interrupt_then_rewait_on_same_event():
+    env = Environment()
+    moments = []
+
+    def sleeper():
+        target = env.timeout(10.0)
+        try:
+            yield target
+        except Interrupt:
+            moments.append(("interrupted", env.now))
+            yield target  # resume waiting on the same timeout
+        moments.append(("woke", env.now))
+
+    def interrupter(proc):
+        yield env.timeout(3.0)
+        proc.interrupt()
+
+    proc = env.process(sleeper())
+    env.process(interrupter(proc))
+    env.run()
+    assert moments == [("interrupted", 3.0), ("woke", 10.0)]
+
+
+def test_interrupt_without_target_rejected():
+    env = Environment()
+
+    def idle():
+        yield env.timeout(5.0)
+
+    proc = env.process(idle())
+    # The process has not been stepped yet (no target): interrupting
+    # before its Initialize fires is an error.
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_multiple_waiters_one_event():
+    env = Environment()
+    gate = env.event()
+    woken = []
+
+    def waiter(i):
+        value = yield gate
+        woken.append((i, value))
+
+    for i in range(5):
+        env.process(waiter(i))
+
+    def opener():
+        yield env.timeout(2.0)
+        gate.succeed("go")
+
+    env.process(opener())
+    env.run()
+    assert woken == [(i, "go") for i in range(5)]
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_environment_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 105.0
+
+
+def test_run_until_event_from_other_process_failure():
+    env = Environment()
+
+    def doomed():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = env.process(doomed())
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=proc)
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3.0)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+    assert p.ok

@@ -1,0 +1,237 @@
+"""Unit tests for Resource, Store, and FilterStore."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def worker(i):
+        req = res.request()
+        yield req
+        grants.append((i, env.now))
+        yield env.timeout(10.0)
+        res.release(req)
+
+    for i in range(4):
+        env.process(worker(i))
+    env.run()
+    # Two immediately, two after the first pair releases at t=10.
+    assert grants == [(0, 0.0), (1, 0.0), (2, 10.0), (3, 10.0)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(i, arrival):
+        yield env.timeout(arrival)
+        req = res.request()
+        yield req
+        order.append(i)
+        yield env.timeout(5.0)
+        res.release(req)
+
+    env.process(worker(0, 0.0))
+    env.process(worker(1, 1.0))
+    env.process(worker(2, 2.0))
+    env.run()
+    assert order == [0, 1, 2]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    times = []
+
+    def worker():
+        with res.request() as req:
+            yield req
+            times.append(env.now)
+            yield env.timeout(3.0)
+
+    env.process(worker())
+    env.process(worker())
+    env.run()
+    assert times == [0.0, 3.0]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_of_unheld_request_rejected():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+
+    def drain():
+        yield req
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    env.process(drain())
+    env.run()
+
+
+def test_release_of_queued_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()  # granted immediately
+    queued = res.request()
+    res.release(queued)  # cancel before grant
+    assert res.queue_length == 0
+    res.release(held)
+    assert res.count == 0
+
+
+def test_resource_counters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queue_length == 1
+    res.release(first)
+    assert res.count == 1  # queued request got the grant
+    assert res.queue_length == 0
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+
+    def getter():
+        first = yield store.get()
+        second = yield store.get()
+        return (first, second)
+
+    p = env.process(getter())
+    env.run()
+    assert p.value == ("a", "b")
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def getter():
+        item = yield store.get()
+        return (env.now, item)
+
+    def putter():
+        yield env.timeout(6.0)
+        store.put("late")
+
+    p = env.process(getter())
+    env.process(putter())
+    env.run()
+    assert p.value == (6.0, "late")
+
+
+def test_store_getters_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(i):
+        item = yield store.get()
+        got.append((i, item))
+
+    for i in range(3):
+        env.process(getter(i))
+
+    def putter():
+        yield env.timeout(1.0)
+        for item in ("x", "y", "z"):
+            store.put(item)
+
+    env.process(putter())
+    env.run()
+    assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    store.put({"tag": 1, "data": "one"})
+    store.put({"tag": 2, "data": "two"})
+
+    def getter():
+        item = yield store.get(lambda msg: msg["tag"] == 2)
+        return item["data"]
+
+    p = env.process(getter())
+    env.run()
+    assert p.value == "two"
+    assert len(store) == 1  # the tag-1 item is still there
+
+
+def test_filter_store_blocks_until_matching_put():
+    env = Environment()
+    store = FilterStore(env)
+
+    def getter():
+        item = yield store.get(lambda msg: msg == "wanted")
+        return (env.now, item)
+
+    def putter():
+        yield env.timeout(1.0)
+        store.put("unwanted")
+        yield env.timeout(1.0)
+        store.put("wanted")
+
+    p = env.process(getter())
+    env.process(putter())
+    env.run()
+    assert p.value == (2.0, "wanted")
+    assert store.items == ("unwanted",)
+
+
+def test_filter_store_oldest_match_wins():
+    env = Environment()
+    store = FilterStore(env)
+    store.put(("a", 1))
+    store.put(("a", 2))
+
+    def getter():
+        item = yield store.get(lambda msg: msg[0] == "a")
+        return item
+
+    p = env.process(getter())
+    env.run()
+    assert p.value == ("a", 1)
+
+
+def test_filter_store_default_predicate_takes_any():
+    env = Environment()
+    store = FilterStore(env)
+    store.put("only")
+
+    def getter():
+        item = yield store.get()
+        return item
+
+    p = env.process(getter())
+    env.run()
+    assert p.value == "only"

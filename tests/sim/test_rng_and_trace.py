@@ -1,0 +1,75 @@
+"""Tests for deterministic RNG streams and the tracer."""
+
+import pytest
+
+from repro.sim import RandomStreams, Tracer
+
+
+def test_same_seed_same_draws():
+    a = RandomStreams(7).stream("x").random(5)
+    b = RandomStreams(7).stream("x").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("alpha").random(3)
+    b = streams.stream("beta").random(3)
+    assert list(a) != list(b)
+
+
+def test_adding_streams_does_not_perturb_existing():
+    first = RandomStreams(3)
+    before = list(first.stream("node.0").random(4))
+    second = RandomStreams(3)
+    second.stream("something.else").random(10)  # extra consumer
+    after = list(second.stream("node.0").random(4))
+    assert before == after
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_jitter_centred_and_positive():
+    streams = RandomStreams(11)
+    draws = [streams.jitter("j", 0.05) for _ in range(500)]
+    assert all(d > 0 for d in draws)
+    assert 0.95 < sum(draws) / len(draws) < 1.05
+
+
+def test_jitter_zero_sigma_is_exact_one():
+    assert RandomStreams(1).jitter("j", 0.0) == 1.0
+
+
+def test_uniform_in_range():
+    streams = RandomStreams(5)
+    for _ in range(100):
+        value = streams.uniform("u", 10.0, 20.0)
+        assert 10.0 <= value < 20.0
+
+
+def test_tracer_disabled_drops_records():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "event", node=0, detail="x")
+    assert len(tracer) == 0
+
+
+def test_tracer_enabled_collects_and_filters():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "send", node=0, nbytes=64)
+    tracer.emit(2.0, "recv", node=1)
+    tracer.emit(3.0, "send", node=1, nbytes=32)
+    assert len(tracer) == 3
+    sends = tracer.records("send")
+    assert [r.time for r in sends] == [1.0, 3.0]
+    assert sends[0].detail["nbytes"] == 64
+    assert len(list(iter(tracer))) == 3
+
+
+def test_tracer_clear():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "x")
+    tracer.clear()
+    assert len(tracer) == 0

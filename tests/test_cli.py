@@ -1,0 +1,72 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_measure_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+    code = main(["measure", "t3d", "barrier", "--bytes", "0",
+                 "--nodes", "8", "--iterations", "2", "--runs", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "t3d barrier" in out
+    assert "per-process min/mean/max" in out
+
+
+def test_measure_broadcast_reports_units(capsys):
+    code = main(["measure", "sp2", "broadcast", "--bytes", "1024",
+                 "--nodes", "4", "--iterations", "2", "--runs", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "us" in out or "ms" in out
+
+
+def test_figure_command_fast(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+    code = main(["figure", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 4" in out
+    assert "broadcast/t3d" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "9"])
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["measure", "cm5", "broadcast"])
+
+
+def test_sensitivity_command(capsys):
+    code = main(["sensitivity", "t3d", "scatter", "--bytes", "65536",
+                 "--nodes", "64", "--top", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sensitivity of scatter" in out
+    assert "dma.us_per_byte" in out
+
+
+def test_app_command(capsys):
+    code = main(["app", "stap", "t3d", "--nodes", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "STAP pipeline on t3d, 4 nodes" in out
+    assert "corner-turn" in out
+
+
+def test_app_unknown_rejected():
+    with pytest.raises(SystemExit):
+        main(["app", "linpack", "t3d"])
+
+
+def test_fast_flag_sets_env(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_BENCH_FAST", raising=False)
+    import os
+    main(["--fast", "measure", "t3d", "barrier", "--bytes", "0",
+          "--nodes", "4", "--iterations", "1", "--runs", "1"])
+    assert os.environ.get("REPRO_BENCH_FAST") == "1"

@@ -1,0 +1,71 @@
+"""Calibration report: simulated vs paper Table 3.
+
+Run:  python tools/calibrate.py [--quick]
+
+Prints, for every (machine, op):
+  * startup latency at several machine sizes vs the paper's formula
+  * per-byte transmission cost at p=32 (from two long messages) vs paper
+"""
+
+import argparse
+import sys
+
+from repro.core import (
+    MeasurementConfig,
+    measure_collective,
+    measure_startup_latency,
+    paper_expression,
+)
+from repro.core.metrics import PAPER_OPS
+
+CFG = MeasurementConfig(iterations=3, warmup_iterations=1, runs=1)
+
+MACHINES = ("sp2", "t3d", "paragon")
+
+
+def startup_report(sizes):
+    print("=== startup latency T0(p) [us] (sim vs paper) ===")
+    for op in PAPER_OPS:
+        for machine in MACHINES:
+            expr = paper_expression(machine, op)
+            cells = []
+            for p in sizes:
+                sim = measure_startup_latency(machine, op, p, CFG).time_us
+                paper = expr.startup_latency_us(p)
+                cells.append(f"p={p}: {sim:8.1f} vs {paper:8.1f}")
+            print(f"{op:10s} {machine:8s} " + "  ".join(cells))
+        print()
+
+
+def per_byte_report(p, m1=16384, m2=65536):
+    print(f"=== per-byte cost at p={p} [us/B] (sim vs paper) ===")
+    for op in PAPER_OPS:
+        if op == "barrier":
+            continue
+        for machine in MACHINES:
+            expr = paper_expression(machine, op)
+            t1 = measure_collective(machine, op, m1, p, CFG).time_us
+            t2 = measure_collective(machine, op, m2, p, CFG).time_us
+            sim = (t2 - t1) / (m2 - m1)
+            paper = expr.per_byte.evaluate(p)
+            ratio = sim / paper if paper > 0 else float("nan")
+            print(f"{op:10s} {machine:8s} sim={sim:9.5f} "
+                  f"paper={paper:9.5f} ratio={ratio:6.2f}")
+        print()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--ops", default=None)
+    args = parser.parse_args()
+    global PAPER_OPS
+    if args.ops:
+        PAPER_OPS = tuple(args.ops.split(","))
+    sizes = (4, 16, 64) if not args.quick else (4, 16)
+    startup_report(sizes)
+    per_byte_report(16 if args.quick else 32)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
