@@ -1,0 +1,26 @@
+"""Capture a span trace of one broadcast and summarise it.
+
+Runs a 4-KB binomial broadcast over 16 simulated SP2 nodes with
+tracing on, prints the phase timeline (ceil(log2 16) = 4 rounds), and
+writes a Chrome-trace JSON you can open at https://ui.perfetto.dev.
+
+Usage::
+
+    python examples/trace_broadcast.py
+"""
+
+from repro.obs import write_chrome_trace
+from repro.obs.capture import capture_collective
+
+cap = capture_collective("sp2", "broadcast", nbytes=4096, num_nodes=16)
+print(cap.summary())
+
+print("\nphases (one per binomial round):")
+for phase in cap.tracer.spans("phase"):
+    messages = [m for m in cap.tracer.spans("message")
+                if m.parent == phase.id]
+    print(f"  {phase.name:10s} {phase.start:8.1f} -> {phase.end:8.1f} us"
+          f"   {len(messages)} message(s)")
+
+path = write_chrome_trace(cap.tracer, "trace_broadcast.json")
+print(f"\nwrote {path} (open in ui.perfetto.dev)")

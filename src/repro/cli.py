@@ -7,6 +7,9 @@ Examples::
     repro-bench table3
     repro-bench headline
     repro-bench measure sp2 alltoall --bytes 65536 --nodes 64
+    repro-bench trace sp2 broadcast --bytes 4096 --nodes 16 \\
+        --out trace.json
+    repro-bench profile t3d alltoall --bytes 4096 --nodes 32
 """
 
 from __future__ import annotations
@@ -33,6 +36,13 @@ from .core.report import format_us
 __all__ = ["main"]
 
 _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +96,37 @@ def _build_parser() -> argparse.ArgumentParser:
     apps.add_argument("name", choices=["stap", "fft2d", "samplesort"])
     apps.add_argument("machine", choices=["sp2", "t3d", "paragon"])
     apps.add_argument("--nodes", type=int, default=16)
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture a span trace of one collective "
+             "(Chrome-trace/Perfetto JSON, CSV)")
+    trace.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    trace.add_argument("op")
+    trace.add_argument("--bytes", type=int, default=4096)
+    trace.add_argument("--nodes", type=int, default=16)
+    trace.add_argument("--iterations", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--max-spans", type=_positive_int, default=None,
+                       help="bounded-memory ring: keep only the newest "
+                            "N spans")
+    trace.add_argument("--out", metavar="PATH",
+                       help="write Chrome-trace JSON (open in "
+                            "ui.perfetto.dev or chrome://tracing)")
+    trace.add_argument("--csv", metavar="PATH",
+                       help="also write the spans as CSV")
+
+    profile = sub.add_parser(
+        "profile",
+        help="utilization + engine hot-path report for one collective")
+    profile.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    profile.add_argument("op")
+    profile.add_argument("--bytes", type=int, default=4096)
+    profile.add_argument("--nodes", type=int, default=16)
+    profile.add_argument("--iterations", type=int, default=1)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=8,
+                         help="links/process types to list")
     return parser
 
 
@@ -136,6 +177,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner = {"stap": simulate_stap, "fft2d": simulate_fft2d,
                   "samplesort": simulate_samplesort}[args.name]
         print(runner(args.machine, args.nodes).format())
+    elif args.command == "trace":
+        from .obs import write_chrome_trace, write_spans_csv
+        from .obs.capture import capture_collective
+        capture = capture_collective(
+            args.machine, args.op, nbytes=args.bytes,
+            num_nodes=args.nodes, iterations=args.iterations,
+            seed=args.seed, max_spans=args.max_spans)
+        print(capture.summary())
+        if args.out:
+            print(f"wrote {write_chrome_trace(capture.tracer, args.out)}"
+                  f" (open in ui.perfetto.dev)")
+        if args.csv:
+            print(f"wrote {write_spans_csv(capture.tracer, args.csv)}")
+    elif args.command == "profile":
+        from .obs import format_utilization_report
+        from .obs.capture import capture_collective
+        capture = capture_collective(
+            args.machine, args.op, nbytes=args.bytes,
+            num_nodes=args.nodes, iterations=args.iterations,
+            seed=args.seed, trace=False, profile=True)
+        print(capture.summary())
+        print()
+        print(format_utilization_report(capture.world.machine,
+                                        capture.elapsed_us,
+                                        top=args.top))
+        print()
+        print(capture.profiler.format_report(top=args.top))
+        print()
+        print(capture.metrics.format_report())
     return 0
 
 

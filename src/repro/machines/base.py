@@ -35,6 +35,7 @@ from ..node import (
     Node,
     NodeClock,
 )
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, RandomStreams, Tracer
 
 __all__ = [
@@ -214,7 +215,8 @@ class Machine:
     def __init__(self, env: Environment, spec: MachineSpec, num_nodes: int,
                  streams: Optional[RandomStreams] = None,
                  tracer: Optional[Tracer] = None, contention: bool = True,
-                 cpu_slowdown: Optional[Mapping[int, float]] = None):
+                 cpu_slowdown: Optional[Mapping[int, float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if not 2 <= num_nodes <= spec.max_nodes:
             raise ValueError(
                 f"{spec.name} supports 2..{spec.max_nodes} nodes, "
@@ -224,6 +226,8 @@ class Machine:
         self.num_nodes = num_nodes
         self.streams = streams if streams is not None else RandomStreams(0)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         # Interference model (the paper's accuracy factor: "the
         # interference from other users in the multicomputer
         # environment"): per-node software-cost multipliers.  The paper
@@ -239,7 +243,8 @@ class Machine:
         self.fabric = NetworkFabric(env, self.topology,
                                     spec.network.link_parameters,
                                     contention=contention,
-                                    tracer=self.tracer)
+                                    tracer=self.tracer,
+                                    metrics=self.metrics)
         self.nodes = [self._build_node(i) for i in range(num_nodes)]
         self.hardware_barrier: Optional[HardwareBarrier] = None
         if spec.barrier_wire is not None:
@@ -258,11 +263,14 @@ class Machine:
                           resolution_us=spec.timer_resolution_us)
         memory = MemorySystem(self.env, spec.memory.copy_us_per_byte,
                               warmup_us=spec.memory.warmup_us,
-                              warmup_us_per_byte=spec.memory.warmup_us_per_byte)
+                              warmup_us_per_byte=spec.memory.warmup_us_per_byte,
+                              metrics=self.metrics)
         nic = Nic(self.env, spec.nic.per_message_us, spec.nic.bandwidth_mbs,
                   half_duplex=spec.nic.half_duplex,
-                  fast_bandwidth_mbs=spec.nic.fast_bandwidth_mbs)
-        dma = DmaEngine(self.env, spec.dma) if spec.dma is not None else None
+                  fast_bandwidth_mbs=spec.nic.fast_bandwidth_mbs,
+                  metrics=self.metrics)
+        dma = DmaEngine(self.env, spec.dma, metrics=self.metrics) \
+            if spec.dma is not None else None
         return Node(self.env, index, clock, memory, nic, dma)
 
     def jitter(self, node_index: int) -> float:

@@ -19,6 +19,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence
 
 from ..machines import Machine
+from ..obs.spans import CollectiveObserver
 from ..sim import Event
 from .context import RankContext
 from .errors import MpiError, RankError
@@ -54,6 +55,8 @@ class Communicator:
             raise MpiError("duplicate node in communicator group")
         self.transport = transport if transport is not None \
             else Transport(machine)
+        self.obs = CollectiveObserver(machine.tracer, machine.metrics,
+                                      self.comm_id)
         self.contexts: List[RankContext] = [
             RankContext(self, rank)
             for rank in range(len(self.world_ranks))]
@@ -76,6 +79,7 @@ class Communicator:
         event = self.completion_event(seq)
         self._completion_counts[seq] += 1
         if self._completion_counts[seq] == self.size:
+            self.obs.complete(seq, self.machine.env.now)
             event.succeed()
             # The fence is only ever awaited for seq-1; drop older state.
             stale = [s for s in self._completions if s < seq]

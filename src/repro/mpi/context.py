@@ -119,12 +119,15 @@ class RankContext:
     def coll_send(self, seq: int, phase: int, dst: int, nbytes: int,
                   op: str, **kwargs) -> Generator[Event, None, None]:
         """Send within collective ``seq``, phase ``phase``."""
+        phase_span = self.comm.obs.phase(seq, phase, self.env.now)
         yield from self.transport.send(
             self.world_rank, self.comm.world_rank_of(dst), nbytes,
-            ("c", self.comm.comm_id, seq, phase), op=op, **kwargs)
+            ("c", self.comm.comm_id, seq, phase), op=op,
+            parent_span=phase_span, **kwargs)
 
     def coll_post(self, seq: int, phase: int, src: int) -> PostedReceive:
         """Post a receive within collective ``seq``, phase ``phase``."""
+        self.comm.obs.phase(seq, phase, self.env.now)
         return self.transport.post_receive(
             self.world_rank, self.comm.world_rank_of(src),
             ("c", self.comm.comm_id, seq, phase))
@@ -191,6 +194,7 @@ class RankContext:
         from .collectives import get_algorithm
         algorithm = get_algorithm(self.comm.spec.algorithm_for(op))
         seq = yield from self._enter_collective(op, nbytes)
+        self.comm.obs.enter(seq, op, nbytes, self.env.now)
         yield from algorithm(self, seq, nbytes, root)
         self.comm.report_completion(seq)
 

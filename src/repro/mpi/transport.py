@@ -30,7 +30,7 @@ from typing import Generator, List, Optional
 
 from ..machines import Machine
 from ..node import TransferMode
-from ..sim import Event
+from ..sim import Event, Span
 from .errors import RankError
 
 __all__ = ["Envelope", "PostedReceive", "Transport"]
@@ -46,6 +46,7 @@ class Envelope:
     nbytes: int
     sent_at: float
     delivered_at: Optional[float] = None
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -80,7 +81,8 @@ class Transport:
     # -- send side ----------------------------------------------------------
     def send(self, src: int, dst: int, nbytes: int, tag: object,
              op: str = "ptp", buffered: bool = False,
-             sw_cost_us: Optional[float] = None
+             sw_cost_us: Optional[float] = None,
+             parent_span: Optional[Span] = None
              ) -> Generator[Event, None, None]:
         """Process generator: issue one message from ``src`` to ``dst``.
 
@@ -88,12 +90,23 @@ class Transport:
         the wire part proceeds asynchronously.  ``sw_cost_us`` overrides
         the kernel software cost for offloaded paths (the payload move
         is then skipped too — the offload engine's cost is included in
-        the override).
+        the override).  ``parent_span`` (normally the collective phase
+        span) becomes the parent of this message's trace span.
         """
         self._check_rank(src)
         self._check_rank(dst)
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
+        tracer = self.machine.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(self.env.now, f"msg {src}->{dst}",
+                                "message", node=src, parent=parent_span,
+                                dst=dst, nbytes=nbytes, op=op)
+        metrics = self.machine.metrics
+        if metrics.enabled:
+            metrics.counter("mpi.messages_sent").inc()
+            metrics.histogram("mpi.message_bytes").observe(nbytes)
         software = self.spec.software
         node = self.machine.nodes[src]
         mode = node.payload_mode(self.spec.uses_dma_for(op), nbytes)
@@ -116,13 +129,16 @@ class Transport:
                     assert node.dma is not None
                     yield from node.dma.stream(nbytes)
         self.env.process(self._wire(src, dst, nbytes, tag, op,
-                                    fast=mode is not TransferMode.HOST),
+                                    fast=mode is not TransferMode.HOST,
+                                    span=span, phase_span=parent_span),
                          name=f"wire-{src}-{dst}")
 
     def _wire(self, src: int, dst: int, nbytes: int, tag: object,
-              op: str, fast: bool) -> Generator[Event, None, None]:
+              op: str, fast: bool, span: Optional[Span] = None,
+              phase_span: Optional[Span] = None
+              ) -> Generator[Event, None, None]:
         envelope = Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes,
-                            sent_at=self.env.now)
+                            sent_at=self.env.now, span=span)
         src_node = self.machine.nodes[src]
         dst_node = self.machine.nodes[dst]
         # The destination drains at DMA speed when its policy offloads
@@ -136,16 +152,28 @@ class Transport:
         # back-to-back messages through one NIC or link serialize.
         legs = [
             self.env.process(src_node.nic.transmit(nbytes, fast=fast)),
-            self.env.process(self.machine.fabric.transfer(src, dst, nbytes)),
+            self.env.process(self.machine.fabric.transfer(
+                src, dst, nbytes, parent_span=span)),
             self.env.process(dst_node.nic.receive(nbytes, fast=fast_rx)),
         ]
         yield self.env.all_of(legs)
         yield self.env.timeout(
             self.spec.software.deliver_us * self.machine.jitter(dst))
         envelope.delivered_at = self.env.now
+        tracer = self.machine.tracer
+        if span is not None:
+            tracer.end(span, self.env.now)
+        if phase_span is not None:
+            # The phase lasts until its last member message lands.
+            tracer.extend(phase_span, self.env.now)
         self._deliver(envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
+        metrics = self.machine.metrics
+        if metrics.enabled:
+            metrics.counter("mpi.messages_delivered").inc()
+            metrics.histogram("mpi.delivery_latency_us").observe(
+                self.env.now - envelope.sent_at)
         posted = self._posted[envelope.dst]
         for index, receive in enumerate(posted):
             if receive.src == envelope.src and receive.tag == envelope.tag:
@@ -156,6 +184,8 @@ class Transport:
                 return
         self._unexpected[envelope.dst].append(envelope)
         self.unexpected_arrivals += 1
+        if metrics.enabled:
+            metrics.counter("mpi.unexpected_arrivals").inc()
         self.machine.tracer.emit(self.env.now, "unexpected-message",
                                  envelope.dst, src=envelope.src,
                                  tag=envelope.tag)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, List, Optional, Union
 
 from ..machines import Machine, MachineSpec, get_machine_spec
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, RandomStreams, Tracer
 from .communicator import Communicator
 from .context import RankContext
@@ -35,17 +36,19 @@ class MpiWorld:
 
     def __init__(self, machine: Union[str, MachineSpec], num_nodes: int,
                  seed: int = 0, contention: bool = True,
-                 trace: bool = False,
+                 trace: bool = False, metrics: bool = False,
                  cpu_slowdown: Optional[dict] = None):
         spec = get_machine_spec(machine) if isinstance(machine, str) \
             else machine
         self.env = Environment()
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(enabled=trace)
+        self.metrics = MetricsRegistry(enabled=metrics)
         self.machine = Machine(self.env, spec, num_nodes,
                                streams=self.streams, tracer=self.tracer,
                                contention=contention,
-                               cpu_slowdown=cpu_slowdown)
+                               cpu_slowdown=cpu_slowdown,
+                               metrics=self.metrics)
         self.comm = Communicator(self.machine)
 
     @property

@@ -13,13 +13,20 @@ collective times.
 Deadlock freedom: links are always acquired in one global canonical
 order (their index in ``topology.links()``), so no cyclic wait can
 arise regardless of topology or traffic pattern.
+
+Observability: every link accumulates busy/wait time (see
+:class:`~repro.network.link.Link`), transfers emit ``link``-category
+occupancy spans nested under the message span when tracing is on, and
+the fabric feeds transfer/stall counters and wait/size histograms to
+the machine's metrics registry.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from ..sim import Environment, Event, Tracer
+from ..obs.metrics import MetricsRegistry
+from ..sim import Environment, Event, Span, Tracer
 from .link import Link, LinkParameters
 from .topology import LinkId, Topology
 
@@ -31,12 +38,15 @@ class NetworkFabric:
 
     def __init__(self, env: Environment, topology: Topology,
                  params: LinkParameters, contention: bool = True,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.topology = topology
         self.params = params
         self.contention = contention
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         self._links: Dict[LinkId, Link] = {}
         self._order: Dict[LinkId, int] = {}
         for index, link_id in enumerate(topology.links()):
@@ -53,13 +63,15 @@ class NetworkFabric:
         return hops * self.params.hop_latency_us + \
             nbytes * self.params.us_per_byte
 
-    def transfer(self, src: int, dst: int,
-                 nbytes: int) -> Generator[Event, None, None]:
+    def transfer(self, src: int, dst: int, nbytes: int,
+                 parent_span: Optional[Span] = None
+                 ) -> Generator[Event, None, None]:
         """Process generator performing one ``src`` -> ``dst`` transfer.
 
         Yields until the message's tail has left the network.  A
         self-transfer (``src == dst``) completes immediately: it never
-        enters the fabric.
+        enters the fabric.  ``parent_span`` (the enclosing message
+        span) becomes the parent of the per-link occupancy spans.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
@@ -75,17 +87,37 @@ class NetworkFabric:
         requests = []
         queued_at = self.env.now
         for link_id in ordered:
+            arrived = self.env.now
             request = self._links[link_id].resource.request()
             requests.append((link_id, request))
             yield request
+            link_wait = self.env.now - arrived
+            if link_wait > 0:
+                self._links[link_id].record_wait(link_wait)
         wait = self.env.now - queued_at
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("fabric.transfers").inc()
+            metrics.histogram("fabric.transfer_bytes").observe(nbytes)
+            if wait > 0:
+                metrics.counter("fabric.contention_stalls").inc()
+                metrics.histogram("fabric.wait_us").observe(wait)
         if wait > 0:
             self.tracer.emit(self.env.now, "link-contention", src,
                              dst=dst, waited_us=wait, nbytes=nbytes)
+        occupancy = []
+        if self.tracer.enabled:
+            occupancy = [
+                self.tracer.begin(self.env.now, f"link {link_id}",
+                                  "link", node=src, parent=parent_span,
+                                  dst=dst, nbytes=nbytes)
+                for link_id, _ in requests]
         yield self.env.timeout(hold)
         for link_id, request in requests:
-            self._links[link_id].record(nbytes)
+            self._links[link_id].record(nbytes, busy_us=hold)
             self._links[link_id].resource.release(request)
+        for span in occupancy:
+            self.tracer.end(span, self.env.now)
 
     def utilisation(self) -> Dict[LinkId, int]:
         """Bytes carried per link (only meaningful with contention on)."""

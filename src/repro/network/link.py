@@ -50,8 +50,20 @@ class Link:
         self.resource = Resource(env, capacity=1)
         self.bytes_carried = 0
         self.transfers = 0
+        #: Simulated microseconds this link was held by transfers.
+        self.busy_us = 0.0
+        #: Queueing delay this link's occupancy imposed on transfers.
+        self.wait_us = 0.0
+        #: Transfers that had to wait for this link.
+        self.contended_transfers = 0
 
-    def record(self, nbytes: int) -> None:
+    def record(self, nbytes: int, busy_us: float = 0.0) -> None:
         """Account a completed transfer for utilisation statistics."""
         self.bytes_carried += nbytes
         self.transfers += 1
+        self.busy_us += busy_us
+
+    def record_wait(self, wait_us: float) -> None:
+        """Account the queueing delay one transfer spent on this link."""
+        self.wait_us += wait_us
+        self.contended_transfers += 1

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, Event, Resource
 
 __all__ = ["TransferMode", "DmaParameters", "DmaEngine"]
@@ -60,9 +61,12 @@ class DmaParameters:
 class DmaEngine:
     """A payload-streaming engine attached to one node."""
 
-    def __init__(self, env: Environment, params: DmaParameters):
+    def __init__(self, env: Environment, params: DmaParameters,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         self._engine = Resource(env, capacity=1)
         self.bytes_streamed = 0
 
@@ -75,6 +79,12 @@ class DmaEngine:
         if nbytes < 0:
             raise ValueError(f"negative stream size {nbytes}")
         request = self._engine.request()
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.gauge("dma.queue_depth").set(
+                self._engine.queue_length)
+            metrics.counter("dma.streams").inc()
+            metrics.counter("dma.bytes").inc(nbytes)
         yield request
         yield self.env.timeout(
             self.params.setup_us + nbytes * self.params.us_per_byte)

@@ -16,8 +16,9 @@ Two effects matter for the paper's methodology:
 
 from __future__ import annotations
 
-from typing import Generator, Hashable, Set
+from typing import Generator, Hashable, Optional, Set
 
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, Event, Resource
 
 __all__ = ["MemorySystem"]
@@ -27,13 +28,16 @@ class MemorySystem:
     """Memory bus (a capacity-1 resource) plus first-touch accounting."""
 
     def __init__(self, env: Environment, copy_us_per_byte: float,
-                 warmup_us: float = 0.0, warmup_us_per_byte: float = 0.0):
+                 warmup_us: float = 0.0, warmup_us_per_byte: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None):
         if copy_us_per_byte < 0:
             raise ValueError(f"negative copy cost {copy_us_per_byte}")
         self.env = env
         self.copy_us_per_byte = copy_us_per_byte
         self.warmup_us = warmup_us
         self.warmup_us_per_byte = warmup_us_per_byte
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         self.bus = Resource(env, capacity=1)
         self._touched: Set[Hashable] = set()
         self.bytes_copied = 0
@@ -43,6 +47,12 @@ class MemorySystem:
         if nbytes < 0:
             raise ValueError(f"negative copy size {nbytes}")
         request = self.bus.request()
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.gauge("mem.bus.queue_depth").set(
+                self.bus.queue_length)
+            metrics.counter("mem.copies").inc()
+            metrics.counter("mem.bytes_copied").inc(nbytes)
         yield request
         yield self.env.timeout(nbytes * self.copy_us_per_byte)
         self.bytes_copied += nbytes

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, Event, Resource
 
 __all__ = ["Nic"]
@@ -26,7 +27,8 @@ class Nic:
 
     def __init__(self, env: Environment, per_message_us: float,
                  bandwidth_mbs: float, half_duplex: bool = False,
-                 fast_bandwidth_mbs: Optional[float] = None):
+                 fast_bandwidth_mbs: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if bandwidth_mbs <= 0:
             raise ValueError(f"bandwidth must be positive, got "
                              f"{bandwidth_mbs}")
@@ -43,6 +45,8 @@ class Nic:
         else:
             self.fast_us_per_byte = 1.0 / (fast_bandwidth_mbs * 1.048576)
         self.half_duplex = half_duplex
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         self._tx = Resource(env, capacity=1)
         self._rx = self._tx if half_duplex else Resource(env, capacity=1)
         self.messages_sent = 0
@@ -61,20 +65,28 @@ class Nic:
     def transmit(self, nbytes: int,
                  fast: bool = False) -> Generator[Event, None, None]:
         """Process generator: occupy the transmit engine for one message."""
-        yield from self._occupy(self._tx, nbytes, fast)
+        yield from self._occupy(self._tx, nbytes, fast, "nic.tx")
         self.messages_sent += 1
 
     def receive(self, nbytes: int,
                 fast: bool = False) -> Generator[Event, None, None]:
         """Process generator: occupy the receive engine for one message."""
-        yield from self._occupy(self._rx, nbytes, fast)
+        yield from self._occupy(self._rx, nbytes, fast, "nic.rx")
         self.messages_received += 1
 
-    def _occupy(self, engine: Resource, nbytes: int,
-                fast: bool) -> Generator[Event, None, None]:
+    def _occupy(self, engine: Resource, nbytes: int, fast: bool,
+                label: str) -> Generator[Event, None, None]:
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         request = engine.request()
+        metrics = self.metrics
+        if metrics.enabled:
+            # Depth *before* this request is granted: how many messages
+            # are serialized behind the engine right now.
+            metrics.gauge(f"{label}.queue_depth").set(engine.queue_length)
+            metrics.counter(f"{label}.messages").inc()
+            metrics.histogram(f"{label}.busy_us").observe(
+                self.occupancy_us(nbytes, fast))
         yield request
         yield self.env.timeout(self.occupancy_us(nbytes, fast))
         engine.release(request)

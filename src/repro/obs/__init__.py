@@ -1,0 +1,46 @@
+"""Observability layer: metrics, spans, profiling, and exporters.
+
+This package is the cross-cutting measurement substrate the paper's
+methodology calls for at simulator scale: span-based tracing nests
+collective -> phase -> message -> link occupancy
+(:mod:`repro.sim.trace` holds the span primitives; this package the
+aggregation and export), a :class:`MetricsRegistry` collects counters/
+gauges/histograms from the network, node, and MPI layers, and an
+:class:`EngineProfiler` ranks the simulator's own hot paths.
+
+Import note: the runtime layers (``network``, ``node``, ``mpi``)
+import the leaf modules here, so this ``__init__`` must only pull in
+modules with no ``repro`` dependencies beyond :mod:`repro.sim`.  The
+high-level :mod:`repro.obs.capture` helper is deliberately *not*
+re-exported; import it explicitly::
+
+    from repro.obs.capture import capture_collective
+"""
+
+from .export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    spans_to_rows,
+    write_chrome_trace,
+    write_spans_csv,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import EngineProfiler
+from .report import format_utilization_report, link_stats
+from .spans import CollectiveObserver
+
+__all__ = [
+    "CollectiveObserver",
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "format_utilization_report",
+    "link_stats",
+    "spans_to_rows",
+    "write_chrome_trace",
+    "write_spans_csv",
+]

@@ -1,0 +1,87 @@
+"""One-call capture of a fully observed collective run.
+
+``capture_collective`` builds a world with tracing/metrics/profiling
+switched on, runs one collective, and hands back everything the
+exporters and reports consume.  This is what the ``repro-bench trace``
+and ``repro-bench profile`` subcommands (and the examples) drive.
+
+Imports of the runtime layers happen lazily so ``repro.obs`` stays
+importable from the lower layers it instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Tracer
+from .metrics import MetricsRegistry
+from .profiler import EngineProfiler
+
+__all__ = ["CollectiveCapture", "capture_collective"]
+
+
+@dataclass
+class CollectiveCapture:
+    """Everything observed about one collective run."""
+
+    machine: str
+    op: str
+    nbytes: int
+    num_nodes: int
+    iterations: int
+    elapsed_us: float
+    world: object
+    tracer: Tracer
+    metrics: MetricsRegistry
+    profiler: Optional[EngineProfiler]
+
+    def summary(self) -> str:
+        """One-paragraph text summary of what was captured."""
+        spans = self.tracer.spans()
+        by_category: dict = {}
+        for span in spans:
+            by_category[span.category] = \
+                by_category.get(span.category, 0) + 1
+        parts = [f"{self.op} on {self.machine}, "
+                 f"p={self.num_nodes}, m={self.nbytes} B, "
+                 f"{self.iterations} iteration(s): "
+                 f"{self.elapsed_us:.1f} us simulated"]
+        if spans or self.tracer.records():
+            categories = ", ".join(
+                f"{count} {category}"
+                for category, count in sorted(by_category.items()))
+            parts.append(f"spans: {len(spans)} ({categories}); "
+                         f"flat records: {len(self.tracer.records())}; "
+                         f"dropped: {self.tracer.dropped}")
+        return "\n".join(parts)
+
+
+def capture_collective(machine: str, op: str, nbytes: int = 1024,
+                       num_nodes: int = 16, root: int = 0,
+                       iterations: int = 1, seed: int = 0,
+                       contention: bool = True, trace: bool = True,
+                       metrics: bool = True, profile: bool = False,
+                       max_records: Optional[int] = None,
+                       max_spans: Optional[int] = None
+                       ) -> CollectiveCapture:
+    """Run ``iterations`` of one collective with full observability."""
+    from ..mpi import MpiWorld
+
+    world = MpiWorld(machine, num_nodes, seed=seed,
+                     contention=contention, trace=trace,
+                     metrics=metrics)
+    if max_records is not None or max_spans is not None:
+        world.tracer.configure_limits(max_records=max_records,
+                                      max_spans=max_spans)
+    profiler = None
+    if profile:
+        profiler = EngineProfiler()
+        world.env.profiler = profiler
+    elapsed = world.run_collective(op, nbytes, root=root,
+                                   iterations=iterations)
+    return CollectiveCapture(
+        machine=world.spec.name, op=op, nbytes=nbytes,
+        num_nodes=num_nodes, iterations=iterations, elapsed_us=elapsed,
+        world=world, tracer=world.tracer, metrics=world.machine.metrics,
+        profiler=profiler)

@@ -1,0 +1,100 @@
+"""Engine profiler: where does the *simulator's own* wall-clock go?
+
+Attached to an :class:`~repro.sim.Environment` via ``env.profiler``,
+the profiler counts events scheduled and fired per event class and
+attributes real (host) wall-clock time to the process *type* whose
+callback consumed it — ``rank`` for the SPMD program bodies, ``wire``
+for the transport's asynchronous wire legs, and so on, with the
+trailing instance numbers stripped so the report ranks hot paths, not
+individual processes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["EngineProfiler"]
+
+#: Strips instance suffixes: ``rank-3`` -> ``rank``, ``wire-0-1`` ->
+#: ``wire``.
+_INSTANCE_SUFFIX = re.compile(r"[-_.]?\d+")
+
+
+def _process_type(name: str) -> str:
+    stripped = _INSTANCE_SUFFIX.sub("", name)
+    return stripped or name
+
+
+class EngineProfiler:
+    """Counts and times the engine's work, grouped by type."""
+
+    def __init__(self) -> None:
+        self.events_scheduled: Dict[str, int] = {}
+        self.events_fired: Dict[str, int] = {}
+        #: process/callback type -> [invocations, wall-clock seconds]
+        self.callback_stats: Dict[str, List[float]] = {}
+
+    # -- hooks called by Environment ---------------------------------------
+    def event_scheduled(self, event: Any) -> None:
+        key = type(event).__name__
+        self.events_scheduled[key] = self.events_scheduled.get(key, 0) + 1
+
+    def event_fired(self, event: Any) -> None:
+        key = type(event).__name__
+        self.events_fired[key] = self.events_fired.get(key, 0) + 1
+
+    def callback_timed(self, callback: Callable, seconds: float) -> None:
+        owner = getattr(callback, "__self__", None)
+        if owner is not None:
+            name = getattr(owner, "name", None)
+            key = _process_type(name) if isinstance(name, str) \
+                else type(owner).__name__
+        else:
+            key = getattr(callback, "__qualname__", repr(callback))
+        stats = self.callback_stats.get(key)
+        if stats is None:
+            self.callback_stats[key] = [1, seconds]
+        else:
+            stats[0] += 1
+            stats[1] += seconds
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def total_scheduled(self) -> int:
+        return sum(self.events_scheduled.values())
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.events_fired.values())
+
+    @property
+    def total_callback_seconds(self) -> float:
+        return sum(s for _, s in self.callback_stats.values())
+
+    def hottest(self, top: int = 10) -> List[Tuple[str, int, float]]:
+        """``(type, invocations, seconds)`` ranked by wall-clock."""
+        ranked = sorted(
+            ((key, int(count), seconds)
+             for key, (count, seconds) in self.callback_stats.items()),
+            key=lambda item: item[2], reverse=True)
+        return ranked[:top]
+
+    def format_report(self, top: int = 10) -> str:
+        lines = ["engine profile:",
+                 f"  events scheduled: {self.total_scheduled}   "
+                 f"fired: {self.total_fired}"]
+        by_class = sorted(self.events_scheduled.items(),
+                          key=lambda item: item[1], reverse=True)
+        for name, count in by_class:
+            fired = self.events_fired.get(name, 0)
+            lines.append(f"    {name:<14s} scheduled={count:<8d} "
+                         f"fired={fired}")
+        total_s = self.total_callback_seconds
+        lines.append(f"  callback wall-clock: {total_s * 1e3:.2f} ms "
+                     f"across {len(self.callback_stats)} process types")
+        for key, count, seconds in self.hottest(top):
+            share = seconds / total_s if total_s else 0.0
+            lines.append(f"    {key:<14s} calls={count:<8d} "
+                         f"{seconds * 1e3:8.2f} ms  {share:6.1%}")
+        return "\n".join(lines)

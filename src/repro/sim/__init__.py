@@ -19,7 +19,7 @@ from .engine import (
 )
 from .resources import FilterStore, Request, Resource, Store
 from .rng import RandomStreams
-from .trace import TraceRecord, Tracer
+from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -29,11 +29,13 @@ __all__ = [
     "Event",
     "FilterStore",
     "Interrupt",
+    "NULL_SPAN",
     "Process",
     "RandomStreams",
     "Request",
     "Resource",
     "SimulationError",
+    "Span",
     "Store",
     "StopProcess",
     "Timeout",

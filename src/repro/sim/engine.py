@@ -20,6 +20,7 @@ through the seeded streams in :mod:`repro.sim.rng`.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -357,6 +358,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional observer (see :class:`repro.obs.EngineProfiler`)
+        #: notified of scheduling, firing, and callback wall-clock.
+        #: ``None`` (the default) keeps the hot path to one check.
+        self.profiler: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -397,6 +402,8 @@ class Environment:
                 f"cannot schedule event in the past ({at} < {self._now})")
         self._eid += 1
         heapq.heappush(self._queue, (at, priority, self._eid, event))
+        if self.profiler is not None:
+            self.profiler.event_scheduled(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -409,8 +416,16 @@ class Environment:
         at, _, _, event = heapq.heappop(self._queue)
         self._now = at
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            profiler.event_fired(event)
+            for callback in callbacks:
+                began = perf_counter()
+                callback(event)
+                profiler.callback_timed(callback, perf_counter() - began)
         if not event._ok and not event._defused:
             raise event._value
 

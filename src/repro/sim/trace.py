@@ -1,24 +1,40 @@
-"""Lightweight event tracing for the simulator.
+"""Structured event tracing for the simulator.
 
-A :class:`Tracer` collects ``TraceRecord`` entries (time, category,
-node, detail).  Tracing is off by default and costs one predicate check
-per record when disabled; the node and network layers emit records for
-message injection, link occupancy, and collective phases, which the
-tests use to assert on *mechanism* (e.g. "the binomial broadcast really
-performed ceil(log2 p) rounds") rather than only on end-to-end times.
+Two complementary record kinds:
+
+* **Flat records** (:class:`TraceRecord`) — point-in-time occurrences
+  (time, category, node, detail), emitted via :meth:`Tracer.emit`.
+* **Spans** (:class:`Span`) — intervals with explicit begin/end times
+  and parent ids, forming the nesting the observability layer exports:
+  collective -> phase -> message -> link-occupancy.  Spans are opened
+  with :meth:`Tracer.begin` and closed with :meth:`Tracer.end`.
+
+Tracing is off by default and costs one predicate check per record when
+disabled.  A disabled tracer's :meth:`Tracer.begin` returns the shared
+:data:`NULL_SPAN` sentinel so instrumented code never branches on the
+enabled flag itself.
+
+Memory is bounded when ``max_records`` / ``max_spans`` are given: the
+tracer keeps the newest entries (drop-oldest ring) and counts what it
+discarded in ``dropped_records`` / ``dropped_spans``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import (Any, Collection, Deque, Dict, Iterator, List, Optional,
+                    Union)
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Span", "Tracer", "NULL_SPAN"]
+
+#: Category filters accept one category or a collection of them.
+CategoryFilter = Optional[Union[str, Collection[str]]]
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One traced occurrence inside the simulator."""
+    """One traced point-in-time occurrence inside the simulator."""
 
     time: float
     category: str
@@ -26,24 +42,144 @@ class TraceRecord:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class Span:
+    """One traced interval.  ``end`` is ``None`` while the span is open.
+
+    ``parent`` is the id of the enclosing span (0 for roots), which is
+    what lets exporters reconstruct the collective -> phase -> message
+    -> link nesting.
+    """
+
+    id: int
+    name: str
+    category: str
+    start: float
+    end: Optional[float] = None
+    node: Optional[int] = None
+    parent: int = 0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated microseconds (0 while open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+
+#: Sentinel returned by a disabled tracer; ending/extending it is a
+#: no-op, so instrumentation never needs to branch on ``enabled``.
+NULL_SPAN = Span(id=0, name="", category="", start=0.0, end=0.0)
+
+
+def _matches(category: str, wanted: CategoryFilter) -> bool:
+    if wanted is None:
+        return True
+    if isinstance(wanted, str):
+        return category == wanted
+    return category in wanted
+
+
 class Tracer:
-    """Collects trace records; disabled tracers drop records cheaply."""
+    """Collects trace records and spans; disabled tracers are ~free."""
 
-    def __init__(self, enabled: bool = False):
+    def __init__(self, enabled: bool = False,
+                 max_records: Optional[int] = None,
+                 max_spans: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.enabled = enabled
-        self._records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.max_spans = max_spans
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self.dropped_records = 0
+        self.dropped_spans = 0
+        self._next_span_id = 1
 
+    # -- flat records -------------------------------------------------------
     def emit(self, time: float, category: str, node: Optional[int] = None,
              **detail: Any) -> None:
         """Record an occurrence if tracing is enabled."""
         if self.enabled:
-            self._records.append(TraceRecord(time, category, node, detail))
+            records = self._records
+            if records.maxlen is not None and \
+                    len(records) == records.maxlen:
+                self.dropped_records += 1
+            records.append(TraceRecord(time, category, node, detail))
 
-    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
-        """All records, optionally filtered by category."""
+    def records(self, category: CategoryFilter = None) -> List[TraceRecord]:
+        """All records, optionally filtered by one or more categories."""
         if category is None:
             return list(self._records)
-        return [r for r in self._records if r.category == category]
+        return [r for r in self._records if _matches(r.category, category)]
+
+    def between(self, t0: float, t1: float,
+                category: CategoryFilter = None) -> List[TraceRecord]:
+        """Records with ``t0 <= time < t1``, optionally by category."""
+        return [r for r in self._records
+                if t0 <= r.time < t1 and _matches(r.category, category)]
+
+    # -- spans --------------------------------------------------------------
+    def begin(self, time: float, name: str, category: str,
+              node: Optional[int] = None, parent: Optional[Span] = None,
+              **detail: Any) -> Span:
+        """Open a span; returns :data:`NULL_SPAN` when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(id=self._next_span_id, name=name, category=category,
+                    start=time, node=node,
+                    parent=parent.id if parent is not None else 0,
+                    detail=detail)
+        self._next_span_id += 1
+        spans = self._spans
+        if spans.maxlen is not None and len(spans) == spans.maxlen:
+            self.dropped_spans += 1
+        spans.append(span)
+        return span
+
+    def end(self, span: Span, time: float, **detail: Any) -> None:
+        """Close ``span`` at ``time`` (no-op for the null span)."""
+        if span.id == 0:
+            return
+        span.end = time
+        if detail:
+            span.detail.update(detail)
+
+    def extend(self, span: Span, time: float) -> None:
+        """Push ``span``'s end out to at least ``time``.
+
+        Used for aggregate spans (collective phases) whose extent is
+        the envelope of many member events.
+        """
+        if span.id == 0:
+            return
+        if span.end is None or span.end < time:
+            span.end = time
+
+    def spans(self, category: CategoryFilter = None) -> List[Span]:
+        """All spans (open and closed), optionally filtered by category."""
+        if category is None:
+            return list(self._spans)
+        return [s for s in self._spans if _matches(s.category, category)]
+
+    def spans_between(self, t0: float, t1: float,
+                      category: CategoryFilter = None) -> List[Span]:
+        """Spans overlapping the window ``[t0, t1)``."""
+        return [s for s in self._spans
+                if s.start < t1 and (s.end is None or s.end >= t0)
+                and _matches(s.category, category)]
+
+    # -- bookkeeping --------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Total entries discarded by the bounded-memory rings."""
+        return self.dropped_records + self.dropped_spans
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
@@ -52,5 +188,22 @@ class Tracer:
         return len(self._records)
 
     def clear(self) -> None:
-        """Drop all collected records."""
+        """Drop all collected records and spans, reset drop counters."""
         self._records.clear()
+        self._spans.clear()
+        self.dropped_records = 0
+        self.dropped_spans = 0
+
+    def configure_limits(self, max_records: Optional[int] = None,
+                         max_spans: Optional[int] = None) -> None:
+        """Re-bound the rings; existing content and drop counts reset."""
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_records = max_records
+        self.max_spans = max_spans
+        self._records = deque(maxlen=max_records)
+        self._spans = deque(maxlen=max_spans)
+        self.dropped_records = 0
+        self.dropped_spans = 0

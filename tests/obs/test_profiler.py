@@ -1,0 +1,69 @@
+"""Tests for the engine profiler hook."""
+
+from repro.obs import EngineProfiler
+from repro.obs.profiler import _process_type
+from repro.sim import Environment
+
+
+def test_process_type_strips_instance_suffixes():
+    assert _process_type("rank-3") == "rank"
+    assert _process_type("wire-0-15") == "wire"
+    assert _process_type("process") == "process"
+    assert _process_type("42") == "42"  # never returns empty
+
+
+def test_profiler_counts_events_and_times_callbacks():
+    env = Environment()
+    profiler = EngineProfiler()
+    env.profiler = profiler
+
+    def worker():
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.process(worker(), name="rank-0")
+    env.process(worker(), name="rank-1")
+    env.run()
+
+    assert profiler.events_scheduled.get("Timeout") == 10
+    assert profiler.events_fired.get("Timeout") == 10
+    assert profiler.total_scheduled == profiler.total_fired
+    assert "rank" in profiler.callback_stats
+    count, seconds = profiler.callback_stats["rank"]
+    assert count >= 10
+    assert seconds >= 0
+
+
+def test_profiler_report_ranks_hot_paths():
+    env = Environment()
+    profiler = EngineProfiler()
+    env.profiler = profiler
+
+    def busy():
+        yield env.timeout(1.0)
+
+    env.process(busy(), name="rank-0")
+    env.run()
+    report = profiler.format_report(top=3)
+    assert "engine profile:" in report
+    assert "events scheduled:" in report
+    assert "rank" in report
+    hottest = profiler.hottest()
+    assert hottest and hottest[0][2] >= hottest[-1][2]
+
+
+def test_profiler_detached_has_no_effect_on_results():
+    def run(with_profiler):
+        env = Environment()
+        if with_profiler:
+            env.profiler = EngineProfiler()
+
+        def worker():
+            for _ in range(20):
+                yield env.timeout(0.5)
+
+        env.process(worker())
+        env.run()
+        return env.now
+
+    assert run(False) == run(True) == 10.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import RandomStreams, Tracer
+from repro.sim import NULL_SPAN, RandomStreams, Tracer
 
 
 def test_same_seed_same_draws():
@@ -71,5 +71,107 @@ def test_tracer_enabled_collects_and_filters():
 def test_tracer_clear():
     tracer = Tracer(enabled=True)
     tracer.emit(1.0, "x")
+    span = tracer.begin(1.0, "s", "cat")
+    tracer.end(span, 2.0)
     tracer.clear()
     assert len(tracer) == 0
+    assert tracer.spans() == []
+
+
+def test_tracer_category_filter_accepts_collections():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "send")
+    tracer.emit(2.0, "recv")
+    tracer.emit(3.0, "link")
+    assert [r.category for r in tracer.records(("send", "link"))] == \
+        ["send", "link"]
+    assert [r.category for r in tracer.records({"recv"})] == ["recv"]
+    assert len(tracer.records("send")) == 1
+
+
+def test_tracer_between_time_window():
+    tracer = Tracer(enabled=True)
+    for t in (0.0, 1.0, 2.0, 3.0):
+        tracer.emit(t, "tick")
+    window = tracer.between(1.0, 3.0)
+    assert [r.time for r in window] == [1.0, 2.0]
+    assert tracer.between(1.0, 3.0, category="other") == []
+
+
+def test_tracer_max_records_drops_oldest_and_counts():
+    tracer = Tracer(enabled=True, max_records=3)
+    for t in range(5):
+        tracer.emit(float(t), "tick", index=t)
+    assert len(tracer) == 3
+    assert [r.time for r in tracer.records()] == [2.0, 3.0, 4.0]
+    assert tracer.dropped_records == 2
+    assert tracer.dropped == 2
+
+
+def test_tracer_max_records_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Tracer(max_records=0)
+
+
+def test_tracer_configure_limits_resets():
+    tracer = Tracer(enabled=True, max_records=2)
+    tracer.emit(0.0, "a")
+    tracer.emit(1.0, "b")
+    tracer.emit(2.0, "c")
+    tracer.configure_limits(max_records=5)
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_span_begin_end_and_parenting():
+    tracer = Tracer(enabled=True)
+    parent = tracer.begin(1.0, "collective", "collective", op="bcast")
+    child = tracer.begin(2.0, "phase 1", "phase", parent=parent)
+    tracer.end(child, 4.0)
+    tracer.end(parent, 5.0, phases=1)
+    assert parent.id != child.id
+    assert child.parent == parent.id
+    assert parent.parent == 0
+    assert child.duration == 2.0
+    assert parent.detail["phases"] == 1
+    assert not parent.open
+
+
+def test_span_extend_pushes_end_out_monotonically():
+    tracer = Tracer(enabled=True)
+    span = tracer.begin(1.0, "phase", "phase")
+    tracer.extend(span, 3.0)
+    tracer.extend(span, 2.0)  # never shrinks
+    assert span.end == 3.0
+
+
+def test_spans_category_filter_and_window():
+    tracer = Tracer(enabled=True)
+    a = tracer.begin(0.0, "a", "message")
+    tracer.end(a, 1.0)
+    b = tracer.begin(5.0, "b", "link")
+    tracer.end(b, 6.0)
+    assert tracer.spans("message") == [a]
+    assert tracer.spans(("message", "link")) == [a, b]
+    assert tracer.spans_between(4.0, 7.0) == [b]
+    assert tracer.spans_between(0.0, 10.0, category="message") == [a]
+
+
+def test_disabled_tracer_returns_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.begin(1.0, "x", "y")
+    assert span is NULL_SPAN
+    tracer.end(span, 2.0)     # no-ops, must not mutate the sentinel
+    tracer.extend(span, 9.0)
+    assert NULL_SPAN.end == 0.0
+    assert tracer.spans() == []
+
+
+def test_span_ring_drops_oldest():
+    tracer = Tracer(enabled=True, max_spans=2)
+    spans = [tracer.begin(float(t), f"s{t}", "cat") for t in range(4)]
+    for span in spans:
+        tracer.end(span, span.start + 0.5)  # safe even if dropped
+    kept = tracer.spans()
+    assert [s.name for s in kept] == ["s2", "s3"]
+    assert tracer.dropped_spans == 2

@@ -64,6 +64,43 @@ def test_app_unknown_rejected():
         main(["app", "linpack", "t3d"])
 
 
+def test_trace_command_writes_valid_chrome_json(capsys, tmp_path):
+    import json
+    out = tmp_path / "trace.json"
+    csv_path = tmp_path / "spans.csv"
+    code = main(["trace", "sp2", "broadcast", "--bytes", "4096",
+                 "--nodes", "16", "--out", str(out),
+                 "--csv", str(csv_path)])
+    text = capsys.readouterr().out
+    assert code == 0
+    assert "broadcast on sp2" in text
+    assert "spans:" in text
+    doc = json.loads(out.read_text())
+    categories = {e.get("cat") for e in doc["traceEvents"]}
+    assert {"collective", "phase", "message", "link"} <= categories
+    assert csv_path.read_text().startswith("id,")
+
+
+def test_trace_command_max_spans(capsys):
+    code = main(["trace", "t3d", "broadcast", "--bytes", "1024",
+                 "--nodes", "8", "--max-spans", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans: 5" in out
+    assert "dropped:" in out
+
+
+def test_profile_command_reports_utilization_and_engine(capsys):
+    code = main(["profile", "sp2", "broadcast", "--bytes", "4096",
+                 "--nodes", "16", "--top", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "link utilization" in out
+    assert "engine profile:" in out
+    assert "metrics:" in out
+    assert "mpi.messages_sent" in out
+
+
 def test_fast_flag_sets_env(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_BENCH_FAST", raising=False)
     import os
