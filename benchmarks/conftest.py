@@ -5,7 +5,15 @@ table, or a headline claim set), prints the regenerated rows/series the
 way the paper reports them, and asserts the qualitative *shape* facts
 the paper states.  ``pytest benchmarks/ --benchmark-only`` runs them
 all; set ``REPRO_BENCH_FAST=1`` for a coarse, quicker grid.
+
+The sweep helpers here are deliberately deterministic: grid iteration
+is sorted and any subsampling draws from a fixed-seed RNG, so the
+artifact JSON a bench writes is byte-stable across runs (set/dict
+iteration order and an unseeded sampler would silently reorder cells
+and defeat the bit-identical regression gate).
 """
+
+import random
 
 import pytest
 
@@ -32,4 +40,33 @@ def single_shot():
 def quick_point_config():
     """Cheap config for benches that measure individual points."""
     return MeasurementConfig(iterations=2, warmup_iterations=1, runs=1,
+                             seed=1997)
+
+
+def _sweep_subgrid(cells, fraction=0.5, seed=1997):
+    """Deterministically subsample a sweep grid.
+
+    Cells are sorted (canonical order) before a fixed-seed RNG draws
+    the sample, and the sample is sorted again on the way out — the
+    same call always yields the same sub-grid, byte for byte, in every
+    process.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(set(cells))
+    count = max(1, round(len(ordered) * fraction))
+    rng = random.Random(seed)
+    return tuple(sorted(rng.sample(ordered, count)))
+
+
+@pytest.fixture
+def sweep_subgrid():
+    """Seeded, sorted grid subsampler for sweep benches."""
+    return _sweep_subgrid
+
+
+@pytest.fixture
+def sweep_fast_config():
+    """Measurement protocol for sweep benches: one timed iteration."""
+    return MeasurementConfig(iterations=1, warmup_iterations=0, runs=1,
                              seed=1997)

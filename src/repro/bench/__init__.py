@@ -4,15 +4,18 @@ from .compare import (
     crossover_message_size,
     monotonically_increasing,
     ranking,
+    values_match,
     winner,
 )
 from .asciiplot import ascii_plot, plot_figure
 from .diagnostics import RunDiagnostics, collect_diagnostics
 from .export import (
     figure_to_rows,
+    sweep_to_rows,
     table3_to_rows,
     write_figure_csv,
     write_figure_json,
+    write_sweep_csv,
     write_table3_csv,
     write_table3_json,
 )
@@ -23,6 +26,7 @@ from .tables import Table3Row, format_table3, table3
 from .workload import (
     FIGURE_OPS,
     MACHINES,
+    T3D_MAX_NODES,
     bench_config,
     bench_machine_sizes,
     bench_message_sizes,
@@ -35,6 +39,7 @@ __all__ = [
     "HeadlineCheck",
     "MACHINES",
     "RunDiagnostics",
+    "T3D_MAX_NODES",
     "Table3Row",
     "ascii_plot",
     "plot_figure",
@@ -49,9 +54,11 @@ __all__ = [
     "figure4",
     "figure5",
     "figure_to_rows",
+    "sweep_to_rows",
     "table3_to_rows",
     "write_figure_csv",
     "write_figure_json",
+    "write_sweep_csv",
     "write_table3_csv",
     "write_table3_json",
     "format_headline",
@@ -61,5 +68,6 @@ __all__ = [
     "monotonically_increasing",
     "ranking",
     "table3",
+    "values_match",
     "winner",
 ]

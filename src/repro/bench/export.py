@@ -16,7 +16,8 @@ from .figures import FigureData
 from .tables import Table3Row
 
 __all__ = ["figure_to_rows", "write_figure_csv", "write_figure_json",
-           "table3_to_rows", "write_table3_csv", "write_table3_json"]
+           "table3_to_rows", "write_table3_csv", "write_table3_json",
+           "sweep_to_rows", "write_sweep_csv"]
 
 PathLike = Union[str, Path]
 
@@ -64,6 +65,37 @@ def write_figure_json(data: FigureData, path: PathLike) -> Path:
         },
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def sweep_to_rows(artifact: Dict[str, object]) -> list:
+    """Flatten a sweep artifact (see :mod:`repro.runner.artifact`)
+    into one dict row per cell."""
+    rows = []
+    for cell in artifact.get("cells", []):
+        rows.append({
+            "grid": artifact.get("grid"),
+            "mode": artifact.get("mode"),
+            "machine": cell["machine"],
+            "op": cell["op"],
+            "nbytes": cell["nbytes"],
+            "p": cell["p"],
+            "time_us": cell["result"]["time_us"],
+            "fingerprint": cell["fingerprint"],
+        })
+    return rows
+
+
+def write_sweep_csv(artifact: Dict[str, object], path: PathLike) -> Path:
+    """Write a sweep artifact's cells to ``path`` as CSV."""
+    path = Path(path)
+    rows = sweep_to_rows(artifact)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=["grid", "mode", "machine", "op",
+                                "nbytes", "p", "time_us", "fingerprint"])
+        writer.writeheader()
+        writer.writerows(rows)
     return path
 
 

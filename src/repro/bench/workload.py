@@ -21,6 +21,7 @@ from ..core import (
 __all__ = [
     "MACHINES",
     "FIGURE_OPS",
+    "T3D_MAX_NODES",
     "machine_sizes_for",
     "bench_config",
     "bench_machine_sizes",

@@ -10,6 +10,9 @@ Examples::
     repro-bench trace sp2 broadcast --bytes 4096 --nodes 16 \\
         --out trace.json
     repro-bench profile t3d alltoall --bytes 4096 --nodes 32
+    repro-bench sweep --grid fig3 --workers 8 --out BENCH_sweep.json
+    repro-bench diff tests/golden/BENCH_sweep_baseline.json \\
+        BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -127,7 +130,102 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--top", type=int, default=8,
                          help="links/process types to list")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (machine, op, m, p) grid through the parallel "
+             "sweep runner, reusing cached cells")
+    sweep.add_argument("--grid", default="fig3",
+                       help="grid preset (fig1, fig2, fig3, smoke, "
+                            "full)")
+    sweep.add_argument("--mode", default="sim",
+                       choices=["sim", "analytic", "model"],
+                       help="sim = discrete-event simulator, analytic "
+                            "= closed-form cost model, model = the "
+                            "paper's Table 3 expressions")
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker processes for simulated cells")
+    sweep.add_argument("--out", metavar="PATH",
+                       default="BENCH_sweep.json",
+                       help="artifact path (default BENCH_sweep.json)")
+    sweep.add_argument("--csv", metavar="PATH",
+                       help="also write the cells as CSV")
+    sweep.add_argument("--cache-dir", metavar="PATH",
+                       help="cache root (default $REPRO_SWEEP_CACHE or "
+                            "~/.cache/repro/sweep)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="drop every cached cell before running")
+    sweep.add_argument("--iterations", type=_positive_int,
+                       default=QUICK_CONFIG.iterations)
+    sweep.add_argument("--runs", type=_positive_int,
+                       default=QUICK_CONFIG.runs)
+    sweep.add_argument("--seed", type=int, default=QUICK_CONFIG.seed)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare a sweep artifact against a baseline; exits "
+             "non-zero when they differ")
+    diff.add_argument("baseline",
+                      help="baseline artifact (e.g. the checked-in "
+                           "tests/golden/BENCH_sweep_baseline.json)")
+    diff.add_argument("current", nargs="?", default="BENCH_sweep.json",
+                      help="artifact to check (default "
+                           "BENCH_sweep.json)")
+    diff.add_argument("--rtol", type=float, default=0.0,
+                      help="relative tolerance (default 0: bitwise)")
+    diff.add_argument("--atol", type=float, default=0.0,
+                      help="absolute tolerance in us (default 0)")
     return parser
+
+
+def _run_sweep_command(args) -> int:
+    from .bench import write_sweep_csv
+    from .core import MeasurementConfig
+    from .runner import (
+        ResultCache,
+        SweepConfig,
+        build_artifact,
+        preset_grid,
+        run_sweep,
+        write_artifact,
+    )
+    try:
+        grid = preset_grid(args.grid)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    measurement = MeasurementConfig(
+        iterations=args.iterations,
+        warmup_iterations=QUICK_CONFIG.warmup_iterations,
+        runs=args.runs, seed=args.seed)
+    config = SweepConfig(mode=args.mode, workers=args.workers,
+                         measurement=measurement,
+                         cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
+    cache = ResultCache(args.cache_dir) if args.cache_dir \
+        else ResultCache()
+    cache.enabled = config.use_cache
+    if args.clear_cache:
+        print(f"cleared {cache.clear()} cached cells")
+    result = run_sweep(grid.cells(), config, cache)
+    print(f"sweep {grid.name} (mode={config.mode}, "
+          f"workers={config.workers}): {result.summary()}")
+    artifact = build_artifact(result, grid.name, config)
+    print(f"wrote {write_artifact(artifact, args.out)}")
+    if args.csv:
+        print(f"wrote {write_sweep_csv(artifact, args.csv)}")
+    return 0
+
+
+def _run_diff_command(args) -> int:
+    from .runner import diff_artifacts, load_artifact
+    diff = diff_artifacts(load_artifact(args.baseline),
+                          load_artifact(args.current),
+                          rtol=args.rtol, atol=args.atol)
+    print(diff.format())
+    return 0 if diff.clean() else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -206,6 +304,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(capture.profiler.format_report(top=args.top))
         print()
         print(capture.metrics.format_report())
+    elif args.command == "sweep":
+        return _run_sweep_command(args)
+    elif args.command == "diff":
+        return _run_diff_command(args)
     return 0
 
 

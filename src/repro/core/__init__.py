@@ -1,6 +1,6 @@
 """The paper's methodology: measurement, metrics, fitting, published model."""
 
-from .analytic import AnalyticModel, predict_time_us
+from .analytic import AnalyticModel, predict_batch_us, predict_time_us
 from .sensitivity import (
     ParameterSensitivity,
     format_sensitivities,
@@ -39,7 +39,7 @@ from .metrics import (
     aggregated_message_length,
 )
 from .paper_model import HEADLINE, PAPER_TABLE3, RAW_HARDWARE, \
-    paper_expression
+    paper_expression, table3_grid
 from .report import format_ratio, format_series, format_table, format_us
 
 __all__ = [
@@ -83,6 +83,8 @@ __all__ = [
     "measure_collective",
     "measure_startup_latency",
     "paper_expression",
+    "predict_batch_us",
     "predict_time_us",
     "rinf_from_expression",
+    "table3_grid",
 ]

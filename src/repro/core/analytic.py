@@ -14,16 +14,29 @@ jitter, clock skew), so it is a *lower-bound-flavoured* estimate.  The
 test suite and the model-validation bench compare it against simulated
 measurements: agreement within tens of percent for latency-dominated
 points, degrading where contention matters (large total exchanges).
+
+All cost primitives are written against numpy ufuncs, so a whole
+message-size vector is evaluated in one pass: :meth:`AnalyticModel
+.predict_batch` takes an array of message lengths and returns the
+predicted times without a Python-level loop.  The scalar
+:meth:`AnalyticModel.predict` delegates to the batch path, so both
+entry points share one formula per collective.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
 
 from ..machines import MachineSpec
 
-__all__ = ["AnalyticModel", "predict_time_us"]
+__all__ = ["AnalyticModel", "predict_time_us", "predict_batch_us"]
+
+#: Either a scalar message length or a vector of them.
+Sizes = Union[int, float, Sequence[int], np.ndarray]
 
 
 def _log2_ceil(p: int) -> int:
@@ -37,47 +50,54 @@ class AnalyticModel:
     spec: MachineSpec
 
     # -- cost primitives ------------------------------------------------------
-    def _nic_us_per_byte(self, fast: bool) -> float:
-        bandwidth = self.spec.nic.fast_bandwidth_mbs if fast else None
+    def _nic_us_per_byte(self, fast: np.ndarray) -> np.ndarray:
+        """Per-byte NIC serialization, elementwise over the DMA mask."""
+        slow = 1.0 / (self.spec.nic.bandwidth_mbs * 1.048576)
+        bandwidth = self.spec.nic.fast_bandwidth_mbs
         if bandwidth is None:
             bandwidth = self.spec.nic.bandwidth_mbs
-        return 1.0 / (bandwidth * 1.048576)
+        return np.where(fast, 1.0 / (bandwidth * 1.048576), slow)
 
     def _link_us_per_byte(self) -> float:
         return 1.0 / (self.spec.network.link_bandwidth_mbs * 1.048576)
 
-    def _dma_send(self, op: str, nbytes: int) -> bool:
-        return (self.spec.uses_dma_for(op) and self.spec.dma is not None
-                and nbytes >= self.spec.dma.min_message_bytes)
+    def _dma_send(self, op: str, nbytes: np.ndarray) -> np.ndarray:
+        """Elementwise: does this message's payload move via DMA?"""
+        if not (self.spec.uses_dma_for(op) and self.spec.dma is not None):
+            return np.zeros(np.shape(nbytes), dtype=bool)
+        return nbytes >= self.spec.dma.min_message_bytes
 
-    def _send_local_us(self, op: str, nbytes: int,
-                       buffered: bool = False) -> float:
+    def _send_local_us(self, op: str, nbytes: np.ndarray,
+                       buffered: bool = False) -> np.ndarray:
         """Sender CPU + payload-move cost (what blocks the send loop)."""
         software = self.spec.software
-        cost = software.send_msg_us
+        cost = np.full(np.shape(nbytes), software.send_msg_us)
         if buffered:
-            cost += software.buffered_msg_us
-            cost += 2 * nbytes * self.spec.memory.copy_us_per_byte
-        if self._dma_send(op, nbytes):
-            assert self.spec.dma is not None
-            cost += self.spec.dma.setup_us + \
+            cost = cost + software.buffered_msg_us
+            cost = cost + 2 * nbytes * self.spec.memory.copy_us_per_byte
+        if self.spec.dma is not None:
+            dma_cost = self.spec.dma.setup_us + \
                 nbytes * self.spec.dma.us_per_byte
+            cost = cost + np.where(self._dma_send(op, nbytes),
+                                   dma_cost, 0.0)
         return cost
 
-    def _recv_local_us(self, nbytes: int, buffered: bool = False) -> float:
+    def _recv_local_us(self, nbytes: np.ndarray,
+                       buffered: bool = False) -> np.ndarray:
         software = self.spec.software
-        cost = software.recv_msg_us
+        cost = np.full(np.shape(nbytes), software.recv_msg_us)
         if buffered:
-            cost += software.buffered_msg_us
-            cost += 2 * nbytes * self.spec.memory.copy_us_per_byte
+            cost = cost + software.buffered_msg_us
+            cost = cost + 2 * nbytes * self.spec.memory.copy_us_per_byte
         return cost
 
-    def _wire_us(self, op: str, nbytes: int, hops: float) -> float:
+    def _wire_us(self, op: str, nbytes: np.ndarray,
+                 hops: float) -> np.ndarray:
         """In-flight time: the slowest of NIC and network serialization
         plus header routing and kernel dispatch."""
         fast = self._dma_send(op, nbytes)
-        serialization = nbytes * max(self._nic_us_per_byte(fast),
-                                     self._link_us_per_byte())
+        serialization = nbytes * np.maximum(self._nic_us_per_byte(fast),
+                                            self._link_us_per_byte())
         return (self.spec.nic.per_message_us + serialization +
                 hops * self.spec.network.hop_latency_us +
                 self.spec.software.deliver_us)
@@ -85,48 +105,69 @@ class AnalyticModel:
     def _average_hops(self, p: int) -> float:
         return self.spec.network.build_topology(p).average_distance()
 
-    def one_way_us(self, nbytes: int, p: int, op: str = "ptp") -> float:
-        """End-to-end latency of one point-to-point message."""
+    def _one_way_us(self, nbytes: np.ndarray, p: int,
+                    op: str = "ptp") -> np.ndarray:
         return (self._send_local_us(op, nbytes) +
                 self._wire_us(op, nbytes, self._average_hops(p)) +
                 self._recv_local_us(nbytes))
 
+    def one_way_us(self, nbytes: int, p: int, op: str = "ptp") -> float:
+        """End-to-end latency of one point-to-point message."""
+        return float(self._one_way_us(np.asarray(float(nbytes)), p, op))
+
     # -- collectives ------------------------------------------------------------
     def predict(self, op: str, nbytes: int, p: int) -> float:
         """Predicted ``T(m, p)`` in microseconds (no simulation)."""
+        return float(self.predict_batch(op, (nbytes,), p)[0])
+
+    def predict_batch(self, op: str, sizes: Sizes, p: int) -> np.ndarray:
+        """Vectorized ``T(m, p)`` over a message-size vector.
+
+        One call evaluates the whole ``m`` axis of a sweep row through
+        numpy ufuncs; ``predict_batch(op, [m], p)[0]`` is exactly
+        ``predict(op, m, p)``.
+        """
+        m = np.atleast_1d(np.asarray(sizes, dtype=float))
+        if m.ndim != 1:
+            raise ValueError(f"sizes must be a 1-D vector, got shape "
+                             f"{m.shape}")
         if p < 2:
             raise ValueError(f"need at least 2 nodes, got {p}")
-        if nbytes < 0:
-            raise ValueError(f"negative message size {nbytes}")
+        if m.size and float(m.min()) < 0:
+            raise ValueError(f"negative message size {float(m.min())}")
         handler = getattr(self, f"_predict_{op}", None)
         if handler is None:
             raise ValueError(f"analytic model has no formula for {op!r}")
-        return self.spec.software.call_setup_us + handler(nbytes, p)
+        out = np.empty(m.shape, dtype=float)
+        out[...] = self.spec.software.call_setup_us + handler(m, p)
+        return out
 
-    def _predict_barrier(self, nbytes: int, p: int) -> float:
+    def _predict_barrier(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         software = self.spec.software
         if self.spec.barrier_wire is not None:
             wire = self.spec.barrier_wire
             base = wire.base_us + wire.per_level_us * math.log2(p)
             setup = software.barrier_call_setup_us or 0.0
-            return base + setup - software.call_setup_us
-        return 2 * _log2_ceil(p) * self.one_way_us(0, p, "barrier")
+            return np.full(nbytes.shape,
+                           base + setup - software.call_setup_us)
+        return 2 * _log2_ceil(p) * \
+            self._one_way_us(np.zeros(nbytes.shape), p, "barrier")
 
-    def _predict_broadcast(self, nbytes: int, p: int) -> float:
-        return _log2_ceil(p) * self.one_way_us(nbytes, p, "broadcast")
+    def _predict_broadcast(self, nbytes: np.ndarray, p: int) -> np.ndarray:
+        return _log2_ceil(p) * self._one_way_us(nbytes, p, "broadcast")
 
-    def _predict_reduce(self, nbytes: int, p: int) -> float:
+    def _predict_reduce(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         software = self.spec.software
         combine = software.reduce_round_us + \
             nbytes * software.reduce_us_per_byte
-        per_round = self.one_way_us(nbytes, p, "reduce") + combine
+        per_round = self._one_way_us(nbytes, p, "reduce") + combine
         rounds = _log2_ceil(p)
         if self.spec.algorithm_for("reduce") == "binary_tree_reduce":
             # Interior nodes retire two children per level.
-            per_round += self._recv_local_us(nbytes) + combine
+            per_round = per_round + self._recv_local_us(nbytes) + combine
         return rounds * per_round
 
-    def _predict_scan(self, nbytes: int, p: int) -> float:
+    def _predict_scan(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         software = self.spec.software
         rounds = _log2_ceil(p)
         if self.spec.algorithm_for("scan") == "offloaded_scan" and \
@@ -138,14 +179,14 @@ class AnalyticModel:
             return software.offload_setup_us + rounds * per_round
         combine = software.reduce_round_us + \
             nbytes * software.reduce_us_per_byte
-        return rounds * (self.one_way_us(nbytes, p, "scan") + combine)
+        return rounds * (self._one_way_us(nbytes, p, "scan") + combine)
 
-    def _predict_scatter(self, nbytes: int, p: int) -> float:
+    def _predict_scatter(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         # Root issues p-1 pipelined sends; the last message's tail
         # latency follows.  The steady-state rate is the slower of the
         # root's local loop and the NIC serialization.
         fast = self._dma_send("scatter", nbytes)
-        per_message = max(
+        per_message = np.maximum(
             self._send_local_us("scatter", nbytes),
             self.spec.nic.per_message_us +
             nbytes * self._nic_us_per_byte(fast))
@@ -153,11 +194,11 @@ class AnalyticModel:
             self._recv_local_us(nbytes)
         return (p - 1) * per_message + tail
 
-    def _predict_gather(self, nbytes: int, p: int) -> float:
+    def _predict_gather(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         # Leaves send concurrently; the root's receive engine and CPU
         # drain p-1 messages back to back.
         fast = self._dma_send("gather", nbytes)
-        per_message = max(
+        per_message = np.maximum(
             self._recv_local_us(nbytes),
             self.spec.nic.per_message_us +
             nbytes * self._nic_us_per_byte(fast))
@@ -165,7 +206,7 @@ class AnalyticModel:
             self._wire_us("gather", nbytes, self._average_hops(p))
         return first_arrival + (p - 1) * per_message
 
-    def _predict_alltoall(self, nbytes: int, p: int) -> float:
+    def _predict_alltoall(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         # Every node sends and receives p-1 buffered messages; the
         # per-node work is the bound (posted algorithm), plus the NX
         # unexpected handling for the sequential scheme.
@@ -174,21 +215,23 @@ class AnalyticModel:
                                          buffered=True) +
                      self._recv_local_us(nbytes, buffered=True))
         if self.spec.algorithm_for("alltoall") == "sequential_alltoall":
-            per_round += software.unexpected_us
-        nic_round = nbytes * self._nic_us_per_byte(False) * \
+            per_round = per_round + software.unexpected_us
+        no_dma = np.zeros(nbytes.shape, dtype=bool)
+        nic_round = nbytes * self._nic_us_per_byte(no_dma) * \
             (2.0 if self.spec.nic.half_duplex else 1.0)
         tail = self._wire_us("alltoall", nbytes, self._average_hops(p))
-        return (p - 1) * max(per_round, nic_round) + tail
+        return (p - 1) * np.maximum(per_round, nic_round) + tail
 
-    def _predict_allreduce(self, nbytes: int, p: int) -> float:
+    def _predict_allreduce(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         return self._predict_reduce(nbytes, p) + \
             self._predict_broadcast(nbytes, p)
 
-    def _predict_allgather(self, nbytes: int, p: int) -> float:
+    def _predict_allgather(self, nbytes: np.ndarray, p: int) -> np.ndarray:
         return self._predict_gather(nbytes, p) + \
             self._predict_broadcast(nbytes * p, p)
 
-    def _predict_reduce_scatter(self, nbytes: int, p: int) -> float:
+    def _predict_reduce_scatter(self, nbytes: np.ndarray,
+                                p: int) -> np.ndarray:
         return self._predict_reduce(nbytes * p, p) + \
             self._predict_scatter(nbytes, p)
 
@@ -197,3 +240,9 @@ def predict_time_us(spec: MachineSpec, op: str, nbytes: int,
                     p: int) -> float:
     """Convenience wrapper over :class:`AnalyticModel`."""
     return AnalyticModel(spec).predict(op, nbytes, p)
+
+
+def predict_batch_us(spec: MachineSpec, op: str, sizes: Sizes,
+                     p: int) -> np.ndarray:
+    """Vectorized convenience wrapper over :class:`AnalyticModel`."""
+    return AnalyticModel(spec).predict_batch(op, sizes, p)

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from .metrics import aggregated_length_factor
 
@@ -52,6 +54,18 @@ class Term:
             return self.coef * p + self.const
         return self.const
 
+    def evaluate_batch(self, ps: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over a machine-size vector."""
+        p = np.atleast_1d(np.asarray(ps, dtype=float))
+        if p.size and float(p.min()) < 1:
+            raise ValueError(f"machine size must be >= 1, got "
+                             f"{float(p.min())}")
+        if self.form == LOG_FORM:
+            return self.coef * np.log2(p) + self.const
+        if self.form == LINEAR_FORM:
+            return self.coef * p + self.const
+        return np.full(p.shape, self.const)
+
     def format(self, variable: str = "p",
                precision: int = 3) -> str:
         """Human-readable rendering, e.g. ``24 p + 90``."""
@@ -75,6 +89,19 @@ class TimingExpression:
     def evaluate(self, nbytes: float, p: int) -> float:
         """Predicted collective messaging time in microseconds."""
         return self.startup.evaluate(p) + self.per_byte.evaluate(p) * nbytes
+
+    def evaluate_grid(self, sizes: Sequence[int],
+                      ps: Sequence[int]) -> np.ndarray:
+        """Vectorized ``T(m, p)`` over a whole (p, m) grid.
+
+        Returns an array of shape ``(len(ps), len(sizes))`` —
+        ``[i, j]`` is :meth:`evaluate` at ``(sizes[j], ps[i])`` — in
+        one broadcasted pass instead of a Python double loop.
+        """
+        m = np.atleast_1d(np.asarray(sizes, dtype=float))
+        startup = self.startup.evaluate_batch(ps)
+        per_byte = self.per_byte.evaluate_batch(ps)
+        return startup[:, None] + per_byte[:, None] * m[None, :]
 
     def startup_latency_us(self, p: int) -> float:
         """``T0(p)`` in microseconds."""

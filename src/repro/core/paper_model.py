@@ -12,7 +12,9 @@ All formulas are ``T(m, p)`` in microseconds with ``m`` in bytes;
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .expressions import CONST_FORM, LINEAR_FORM, LOG_FORM, Term, \
     TimingExpression
@@ -20,6 +22,7 @@ from .expressions import CONST_FORM, LINEAR_FORM, LOG_FORM, Term, \
 __all__ = [
     "PAPER_TABLE3",
     "paper_expression",
+    "table3_grid",
     "HEADLINE",
     "RAW_HARDWARE",
 ]
@@ -98,6 +101,24 @@ def paper_expression(machine: str, op: str) -> TimingExpression:
     if key not in PAPER_TABLE3:
         raise KeyError(f"Table 3 has no entry for {key}")
     return PAPER_TABLE3[key]
+
+
+def table3_grid(sizes: Sequence[int], ps: Sequence[int],
+                keys: Optional[Sequence[Tuple[str, str]]] = None
+                ) -> Dict[Tuple[str, str], np.ndarray]:
+    """Evaluate Table 3 expressions over a whole (p, m) grid at once.
+
+    Each selected ``(machine, op)`` maps to an array of shape
+    ``(len(ps), len(sizes))`` produced by the vectorized
+    :meth:`~repro.core.expressions.TimingExpression.evaluate_grid` —
+    the batched path sweep runners and golden tests evaluate instead
+    of looping point by point.
+    """
+    selected = sorted(PAPER_TABLE3 if keys is None else keys)
+    out: Dict[Tuple[str, str], np.ndarray] = {}
+    for key in selected:
+        out[key] = paper_expression(*key).evaluate_grid(sizes, ps)
+    return out
 
 
 #: Headline numeric claims from the abstract and Sections 4-8.

@@ -1,0 +1,160 @@
+"""Canonical sweep artifacts (``BENCH_sweep.json``) and their diffs.
+
+The artifact is the sweep's single product: a key-sorted, indented
+JSON document with one entry per cell.  It deliberately contains no
+timestamps, hostnames, worker counts, or wall-clock numbers — only
+inputs and results — so two runs of the same sweep produce *byte
+identical* files regardless of parallelism or cache temperature.
+That property is what makes the checked-in golden baseline and the
+``repro-bench diff`` regression gate trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..bench.compare import values_match
+from ..sim import SIM_VERSION
+from .fingerprint import to_jsonable
+from .pool import SweepConfig, SweepResult
+
+__all__ = ["ARTIFACT_SCHEMA", "build_artifact", "dumps_artifact",
+           "write_artifact", "load_artifact", "ArtifactDiff",
+           "diff_artifacts"]
+
+PathLike = Union[str, Path]
+
+ARTIFACT_SCHEMA = "repro-sweep/1"
+
+#: (machine, op, nbytes, p) — how diffing pairs cells up.
+CellKey = Tuple[str, str, int, int]
+
+
+def build_artifact(result: SweepResult, grid_name: str,
+                   config: SweepConfig) -> Dict[str, object]:
+    """Assemble the canonical artifact document for one sweep."""
+    cells = []
+    for cell in result.cells:
+        cells.append({
+            "machine": cell.machine,
+            "op": cell.op,
+            "nbytes": cell.nbytes,
+            "p": cell.p,
+            "fingerprint": result.fingerprints[cell],
+            "result": result.results[cell],
+        })
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "grid": grid_name,
+        "mode": config.mode,
+        "sim_version": SIM_VERSION,
+        "config": to_jsonable(config.cell_config()),
+        "cells": cells,
+    }
+
+
+def dumps_artifact(payload: Dict[str, object]) -> str:
+    """Canonical serialization: sorted keys, fixed indent, one final
+    newline — the byte-stable form everything compares against."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(payload: Dict[str, object], path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(dumps_artifact(payload), "utf-8")
+    return path
+
+
+def load_artifact(path: PathLike) -> Dict[str, object]:
+    path = Path(path)
+    payload = json.loads(path.read_text("utf-8"))
+    schema = payload.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(f"{path} is not a sweep artifact "
+                         f"(schema {schema!r}, expected "
+                         f"{ARTIFACT_SCHEMA!r})")
+    return payload
+
+
+def _index(payload: Dict[str, object]) -> Dict[CellKey, Dict[str, object]]:
+    cells = payload.get("cells", [])
+    return {(c["machine"], c["op"], int(c["nbytes"]), int(c["p"])): c
+            for c in cells}
+
+
+def _cell_name(key: CellKey) -> str:
+    return "/".join(str(part) for part in key)
+
+
+@dataclass
+class ArtifactDiff:
+    """Outcome of comparing a sweep artifact against a baseline."""
+
+    rtol: float
+    atol: float
+    compared: int = 0
+    #: Cells only in the new artifact / only in the baseline.
+    added: List[CellKey] = field(default_factory=list)
+    removed: List[CellKey] = field(default_factory=list)
+    #: (key, baseline time, new time, relative difference).
+    changed: List[Tuple[CellKey, float, float, float]] = \
+        field(default_factory=list)
+    #: Metadata fields (mode, grid, sim_version, config) that differ.
+    metadata: List[str] = field(default_factory=list)
+
+    def clean(self) -> bool:
+        return not (self.added or self.removed or self.changed or
+                    self.metadata)
+
+    def format(self) -> str:
+        """Human-readable report; one line per divergence."""
+        lines = []
+        if self.metadata:
+            lines.append("metadata differs: " + ", ".join(self.metadata))
+        for key in self.removed:
+            lines.append(f"- {_cell_name(key)}: only in baseline")
+        for key in self.added:
+            lines.append(f"+ {_cell_name(key)}: only in new artifact")
+        for key, base, new, rel in self.changed:
+            lines.append(f"! {_cell_name(key)}: {base:.6g} us -> "
+                         f"{new:.6g} us ({rel:+.3%})")
+        verdict = "identical" if self.clean() else \
+            (f"{len(self.added)} added, {len(self.removed)} removed, "
+             f"{len(self.changed)} changed")
+        lines.append(f"compared {self.compared} cells "
+                     f"(rtol={self.rtol:g}, atol={self.atol:g}): "
+                     f"{verdict}")
+        return "\n".join(lines)
+
+
+def diff_artifacts(baseline: Dict[str, object],
+                   current: Dict[str, object],
+                   rtol: float = 0.0,
+                   atol: float = 0.0) -> ArtifactDiff:
+    """Compare two artifacts cell by cell.
+
+    With the default zero tolerances, any bit difference in a cell's
+    ``time_us`` is reported; pass ``rtol``/``atol`` to accept float
+    noise (e.g. across libm versions).
+    """
+    diff = ArtifactDiff(rtol=rtol, atol=atol)
+    for name in ("grid", "mode", "sim_version", "config"):
+        if baseline.get(name) != current.get(name):
+            diff.metadata.append(
+                f"{name} ({baseline.get(name)!r} -> "
+                f"{current.get(name)!r})")
+    base_cells = _index(baseline)
+    new_cells = _index(current)
+    diff.removed = sorted(set(base_cells) - set(new_cells))
+    diff.added = sorted(set(new_cells) - set(base_cells))
+    for key in sorted(set(base_cells) & set(new_cells)):
+        diff.compared += 1
+        base = float(base_cells[key]["result"]["time_us"])
+        new = float(new_cells[key]["result"]["time_us"])
+        if not values_match(base, new, rtol=rtol, atol=atol):
+            rel = (new - base) / base if base else float("inf")
+            diff.changed.append((key, base, new, rel))
+    return diff

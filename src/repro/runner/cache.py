@@ -1,0 +1,105 @@
+"""Content-addressed on-disk cache of sweep-cell results.
+
+Layout: one JSON file per cell under a two-character fan-out
+directory, named by the cell's fingerprint::
+
+    <root>/ab/abcdef0123....json
+
+Because the file name *is* the hash of everything the result depends
+on (machine spec, algorithm, measurement protocol, simulator version —
+see :mod:`repro.runner.fingerprint`), invalidation is automatic: any
+input change produces a different key, and the stale entry is simply
+never looked up again.  Entries are written atomically (temp file +
+rename) so concurrent workers and interrupted runs can never leave a
+torn file behind; unreadable or corrupt entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_SWEEP_CACHE`` else ``~/.cache/repro/sweep``."""
+    override = os.environ.get("REPRO_SWEEP_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweep"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def format(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.writes} writes")
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of JSON payloads keyed by fingerprint."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` on any miss.
+
+        A corrupt, truncated, or unreadable entry counts as a miss —
+        the caller recomputes and overwrites it.
+        """
+        if not self.enabled:
+            return None
+        try:
+            with self.path_for(key).open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(self)
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,229 @@
+"""The parallel sweep engine.
+
+:func:`run_sweep` takes a cell list, consults the content-addressed
+:class:`~repro.runner.cache.ResultCache`, and evaluates only the cells
+the cache cannot answer:
+
+* ``sim`` mode shards the missing cells round-robin across a
+  ``multiprocessing`` pool (one full simulation per cell);
+* ``analytic`` and ``model`` modes group cells by (machine, op, p) and
+  evaluate each group's whole message-size vector in one call to the
+  vectorized closed-form paths (:meth:`AnalyticModel.predict_batch`,
+  :meth:`TimingExpression.evaluate_grid`) — no pool needed, the numpy
+  pass is already orders of magnitude faster than simulation.
+
+Determinism: a cell's result depends only on the cell and the
+measurement protocol (all simulation seeds derive from them), never on
+which worker computed it or in what order, so any worker count — and
+any warm/cold cache state — produces bit-identical sweep results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    QUICK_CONFIG,
+    AnalyticModel,
+    MeasurementConfig,
+    measure_collective,
+    paper_expression,
+)
+from ..machines import MachineSpec, get_machine_spec
+from .cache import ResultCache
+from .fingerprint import cell_fingerprint
+from .shard import SweepCell, shard_cells
+
+__all__ = ["SWEEP_MODES", "SweepConfig", "SweepResult", "evaluate_cell",
+           "run_sweep"]
+
+#: ``sim`` runs the discrete-event simulator; ``analytic`` the
+#: no-simulation cost model; ``model`` the paper's Table 3 expressions.
+SWEEP_MODES = ("sim", "analytic", "model")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How to run a sweep: mode, parallelism, protocol, caching."""
+
+    mode: str = "sim"
+    workers: int = 1
+    measurement: MeasurementConfig = QUICK_CONFIG
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(f"unknown sweep mode {self.mode!r}; "
+                             f"expected one of {SWEEP_MODES}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def cell_config(self) -> Optional[MeasurementConfig]:
+        """The protocol that keys cache entries (``None`` off the
+        simulator path — closed forms take no protocol knobs)."""
+        return self.measurement if self.mode == "sim" else None
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, keyed by cell."""
+
+    cells: Tuple[SweepCell, ...]
+    results: Dict[SweepCell, Dict[str, float]]
+    fingerprints: Dict[SweepCell, str]
+    cache_hits: int = 0
+    evaluated: int = 0
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (f"{len(self.cells)} cells, {self.evaluated} evaluated, "
+                f"{self.cache_hits} cache hits, {self.elapsed_s:.2f} s")
+
+
+def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
+                  mode: str = "sim") -> Dict[str, float]:
+    """Evaluate one cell from scratch (no cache involved)."""
+    if mode == "sim":
+        sample = measure_collective(cell.machine, cell.op, cell.nbytes,
+                                    cell.p, config or QUICK_CONFIG)
+        return {
+            "time_us": sample.time_us,
+            "run_times_us": list(sample.run_times_us),
+            "process_min_us": sample.process_min_us,
+            "process_mean_us": sample.process_mean_us,
+            "process_max_us": sample.process_max_us,
+        }
+    if mode == "analytic":
+        spec = get_machine_spec(cell.machine)
+        model = AnalyticModel(spec)
+        return {"time_us": float(
+            model.predict_batch(cell.op, (cell.nbytes,), cell.p)[0])}
+    if mode == "model":
+        expr = paper_expression(cell.machine, cell.op)
+        return {"time_us": float(
+            expr.evaluate_grid((cell.nbytes,), (cell.p,))[0, 0])}
+    raise ValueError(f"unknown sweep mode {mode!r}")
+
+
+def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
+                                Dict[str, object], str]
+                    ) -> List[Tuple[Tuple[str, str, int, int],
+                                    Dict[str, float]]]:
+    """Worker entry point: evaluate one shard of cells.
+
+    Takes/returns plain tuples and dicts so the payload pickles under
+    any multiprocessing start method.
+    """
+    cell_tuples, config_kwargs, mode = task
+    config = MeasurementConfig(**config_kwargs) if config_kwargs else None
+    out = []
+    for cell_tuple in cell_tuples:
+        cell = SweepCell(*cell_tuple)
+        out.append((cell_tuple, evaluate_cell(cell, config, mode)))
+    return out
+
+
+def _evaluate_parallel(cells: Sequence[SweepCell],
+                       config: SweepConfig
+                       ) -> Dict[SweepCell, Dict[str, float]]:
+    """Fan simulation cells out across a worker pool."""
+    config_kwargs = dataclasses.asdict(config.measurement)
+    shards = shard_cells(tuple(cells), config.workers)
+    tasks = [(tuple(dataclasses.astuple(cell) for cell in shard),
+              config_kwargs, config.mode) for shard in shards]
+    if len(tasks) <= 1:
+        shard_outputs = [_evaluate_shard(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=len(tasks)) as pool:
+            shard_outputs = pool.map(_evaluate_shard, tasks)
+    results: Dict[SweepCell, Dict[str, float]] = {}
+    for output in shard_outputs:
+        for cell_tuple, result in output:
+            results[SweepCell(*cell_tuple)] = result
+    return results
+
+
+def _evaluate_batched(cells: Sequence[SweepCell],
+                      specs: Dict[str, MachineSpec],
+                      mode: str) -> Dict[SweepCell, Dict[str, float]]:
+    """Closed-form modes: vectorize each (machine, op, p) row's sizes."""
+    rows: Dict[Tuple[str, str, int], List[int]] = {}
+    for cell in cells:
+        rows.setdefault((cell.machine, cell.op, cell.p),
+                        []).append(cell.nbytes)
+    results: Dict[SweepCell, Dict[str, float]] = {}
+    for (machine, op, p), sizes in sorted(rows.items()):
+        sizes = sorted(set(sizes))
+        if mode == "analytic":
+            times = AnalyticModel(specs[machine]).predict_batch(
+                op, sizes, p)
+        else:
+            times = paper_expression(machine, op).evaluate_grid(
+                sizes, (p,))[0]
+        for nbytes, time_us in zip(sizes, times):
+            results[SweepCell(machine, op, nbytes, p)] = \
+                {"time_us": float(time_us)}
+    return results
+
+
+def run_sweep(cells: Sequence[SweepCell],
+              config: Optional[SweepConfig] = None,
+              cache: Optional[ResultCache] = None) -> SweepResult:
+    """Run a sweep over ``cells``, reusing every cached cell.
+
+    Results are returned (and cached) per cell; the cell list is
+    deduplicated and sorted first, so the output is independent of
+    input order, worker count, and cache temperature.
+    """
+    config = config or SweepConfig()
+    ordered = tuple(sorted(set(cells)))
+    if cache is None:
+        root = config.cache_dir
+        cache = ResultCache(root) if root else ResultCache()
+        cache.enabled = config.use_cache
+    specs = {name: get_machine_spec(name)
+             for name in sorted({cell.machine for cell in ordered})}
+    cell_config = config.cell_config()
+    fingerprints = {
+        cell: cell_fingerprint(specs[cell.machine], cell.op,
+                               cell.nbytes, cell.p, cell_config,
+                               config.mode)
+        for cell in ordered
+    }
+
+    started = time.perf_counter()
+    results: Dict[SweepCell, Dict[str, float]] = {}
+    missing: List[SweepCell] = []
+    for cell in ordered:
+        payload = cache.get(fingerprints[cell])
+        if payload is not None and "result" in payload:
+            results[cell] = payload["result"]
+        else:
+            missing.append(cell)
+
+    if missing:
+        if config.mode == "sim":
+            computed = _evaluate_parallel(missing, config)
+        else:
+            computed = _evaluate_batched(missing, specs, config.mode)
+        for cell in missing:
+            results[cell] = computed[cell]
+            cache.put(fingerprints[cell], {
+                "cell": dataclasses.asdict(cell),
+                "mode": config.mode,
+                "result": computed[cell],
+            })
+
+    return SweepResult(
+        cells=ordered,
+        results=results,
+        fingerprints=fingerprints,
+        cache_hits=len(ordered) - len(missing),
+        evaluated=len(missing),
+        elapsed_s=time.perf_counter() - started,
+    )

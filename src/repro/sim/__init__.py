@@ -6,6 +6,7 @@ random streams, and tracing.
 """
 
 from .engine import (
+    SIM_VERSION,
     AllOf,
     AnyOf,
     Condition,
@@ -34,6 +35,7 @@ __all__ = [
     "RandomStreams",
     "Request",
     "Resource",
+    "SIM_VERSION",
     "SimulationError",
     "Span",
     "Store",

@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "SIM_VERSION",
     "Environment",
     "Event",
     "Timeout",
@@ -37,6 +38,12 @@ __all__ = [
     "NORMAL",
     "URGENT",
 ]
+
+#: Version of the timing model implemented by the simulation substrate.
+#: Bump whenever an engine/resource change can alter simulated times —
+#: sweep caches (:mod:`repro.runner`) key their fingerprints on it, so a
+#: bump invalidates every previously cached cell.
+SIM_VERSION = "1"
 
 #: Default scheduling priority for events.
 NORMAL = 1

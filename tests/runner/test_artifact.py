@@ -1,0 +1,103 @@
+"""Tests for sweep artifacts and the baseline diff gate."""
+
+import copy
+
+import pytest
+
+from repro.core import MeasurementConfig
+from repro.runner import (
+    ARTIFACT_SCHEMA,
+    ResultCache,
+    SweepConfig,
+    build_artifact,
+    diff_artifacts,
+    dumps_artifact,
+    load_artifact,
+    preset_grid,
+    run_sweep,
+    write_artifact,
+)
+
+FAST = MeasurementConfig(iterations=1, warmup_iterations=0, runs=1)
+
+
+def _artifact(mode="analytic"):
+    config = SweepConfig(mode=mode, measurement=FAST, use_cache=False)
+    result = run_sweep(preset_grid("smoke").cells(), config,
+                       ResultCache(enabled=False))
+    return build_artifact(result, "smoke", config)
+
+
+def test_artifact_shape_and_roundtrip(tmp_path):
+    artifact = _artifact()
+    assert artifact["schema"] == ARTIFACT_SCHEMA
+    assert artifact["grid"] == "smoke"
+    assert artifact["mode"] == "analytic"
+    assert artifact["config"] is None  # closed-form: no protocol knobs
+    assert len(artifact["cells"]) == \
+        len(preset_grid("smoke").cells())
+    path = write_artifact(artifact, tmp_path / "BENCH_sweep.json")
+    assert load_artifact(path) == artifact
+
+
+def test_sim_mode_artifact_embeds_protocol():
+    config = SweepConfig(mode="sim", measurement=FAST, use_cache=False)
+    cells = preset_grid("smoke").cells()[:2]
+    result = run_sweep(cells, config, ResultCache(enabled=False))
+    artifact = build_artifact(result, "smoke", config)
+    assert artifact["config"]["iterations"] == 1
+    assert artifact["cells"][0]["result"]["run_times_us"]
+
+
+def test_dumps_is_byte_stable():
+    assert dumps_artifact(_artifact()) == dumps_artifact(_artifact())
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not_sweep.json"
+    path.write_text('{"schema": "something-else"}', "utf-8")
+    with pytest.raises(ValueError, match="not a sweep artifact"):
+        load_artifact(path)
+
+
+def test_diff_identical_is_clean():
+    artifact = _artifact()
+    diff = diff_artifacts(artifact, copy.deepcopy(artifact))
+    assert diff.clean()
+    assert "identical" in diff.format()
+    assert diff.compared == len(artifact["cells"])
+
+
+def test_diff_reports_changed_cell_with_relative_error():
+    baseline = _artifact()
+    current = copy.deepcopy(baseline)
+    current["cells"][0]["result"]["time_us"] *= 1.10
+    diff = diff_artifacts(baseline, current)
+    assert not diff.clean()
+    assert len(diff.changed) == 1
+    key, base, new, rel = diff.changed[0]
+    assert rel == pytest.approx(0.10)
+    assert "!" in diff.format()
+    # A generous tolerance accepts the same drift.
+    assert diff_artifacts(baseline, current, rtol=0.2).clean()
+
+
+def test_diff_reports_added_and_removed_cells():
+    baseline = _artifact()
+    current = copy.deepcopy(baseline)
+    dropped = current["cells"].pop(0)
+    diff = diff_artifacts(baseline, current)
+    assert len(diff.removed) == 1
+    assert diff.removed[0][0] == dropped["machine"]
+    assert "only in baseline" in diff.format()
+    reverse = diff_artifacts(current, baseline)
+    assert len(reverse.added) == 1
+
+
+def test_diff_flags_metadata_changes():
+    baseline = _artifact()
+    current = copy.deepcopy(baseline)
+    current["mode"] = "sim"
+    diff = diff_artifacts(baseline, current)
+    assert not diff.clean()
+    assert any("mode" in item for item in diff.metadata)

@@ -1,0 +1,62 @@
+"""Tests for the on-disk content-addressed result cache."""
+
+from repro.runner import CacheStats, ResultCache, default_cache_dir
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(KEY) is None
+    cache.put(KEY, {"result": {"time_us": 1.25}})
+    assert cache.get(KEY) == {"result": {"time_us": 1.25}}
+    assert cache.stats == CacheStats(hits=1, misses=1, writes=1)
+
+
+def test_entries_fan_out_by_key_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {}})
+    path = cache.path_for(KEY)
+    assert path.exists()
+    assert path.parent.name == KEY[:2]
+    assert path.name == f"{KEY}.json"
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {}})
+    cache.path_for(KEY).write_text("{truncated", "utf-8")
+    assert cache.get(KEY) is None
+    assert cache.stats.misses == 1
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = ResultCache(tmp_path / "never", enabled=False)
+    cache.put(KEY, {"result": {}})
+    assert cache.get(KEY) is None
+    assert not (tmp_path / "never").exists()
+    assert cache.stats == CacheStats()
+
+
+def test_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {}})
+    cache.put(OTHER, {"result": {}})
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.get(KEY) is None
+
+
+def test_default_cache_dir_honours_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    monkeypatch.delenv("REPRO_SWEEP_CACHE")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweep"
+
+
+def test_stats_format():
+    stats = CacheStats(hits=3, misses=1, writes=1)
+    assert stats.format() == "3 hits, 1 misses, 1 writes"

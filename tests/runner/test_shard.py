@@ -1,0 +1,89 @@
+"""Tests for sweep grids, presets, and deterministic sharding."""
+
+import pytest
+
+from repro.runner import (
+    GRID_PRESETS,
+    SweepCell,
+    SweepGrid,
+    preset_grid,
+    shard_cells,
+)
+
+
+def test_cells_are_sorted_and_deduplicated():
+    grid = SweepGrid(name="g", machines=("t3d", "sp2", "sp2"),
+                     ops=("reduce", "broadcast"),
+                     message_sizes=(1024, 4, 1024),
+                     machine_sizes=(4, 2))
+    cells = grid.cells()
+    assert cells == tuple(sorted(set(cells)))
+    assert len(cells) == 2 * 2 * 2 * 2
+
+
+def test_cells_are_declaration_order_invariant():
+    a = SweepGrid(name="g", machines=("sp2", "paragon"),
+                  ops=("scatter", "gather"), message_sizes=(16, 64),
+                  machine_sizes=(2, 8))
+    b = SweepGrid(name="g", machines=("paragon", "sp2"),
+                  ops=("gather", "scatter"), message_sizes=(64, 16),
+                  machine_sizes=(8, 2))
+    assert a.cells() == b.cells()
+
+
+def test_t3d_allocation_cap_honoured():
+    grid = SweepGrid(name="g", machines=("sp2", "t3d"),
+                     ops=("broadcast",), message_sizes=(4,),
+                     machine_sizes=(32, 64, 128))
+    ps = {cell.p for cell in grid.cells() if cell.machine == "t3d"}
+    assert ps == {32, 64}
+    ps_sp2 = {cell.p for cell in grid.cells() if cell.machine == "sp2"}
+    assert ps_sp2 == {32, 64, 128}
+
+
+def test_barrier_panel_has_no_payload():
+    grid = SweepGrid(name="g", machines=("sp2",), ops=("broadcast",),
+                     message_sizes=(16, 1024), machine_sizes=(2,),
+                     include_barrier=True)
+    barrier = [c for c in grid.cells() if c.op == "barrier"]
+    assert barrier == [SweepCell("sp2", "barrier", 0, 2)]
+
+
+def test_presets_cover_the_paper_figures():
+    assert set(GRID_PRESETS) >= {"fig1", "fig2", "fig3", "smoke",
+                                 "full"}
+    fig3 = preset_grid("fig3")
+    sizes = {cell.nbytes for cell in fig3.cells()
+             if cell.op != "barrier"}
+    assert sizes == {16, 65536}
+    assert any(cell.op == "barrier" for cell in fig3.cells())
+    fig1 = preset_grid("fig1")
+    assert {cell.nbytes for cell in fig1.cells()} == {4}
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(KeyError, match="known presets"):
+        preset_grid("fig9")
+
+
+def test_shard_cells_round_robin_partition():
+    cells = preset_grid("smoke").cells()
+    shards = shard_cells(cells, 3)
+    merged = sorted(cell for shard in shards for cell in shard)
+    assert merged == sorted(cells)
+    assert shards[0] == cells[0::3]
+    sizes = [len(shard) for shard in shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_cells_drops_empty_shards():
+    cells = preset_grid("smoke").cells()[:2]
+    shards = shard_cells(cells, 8)
+    assert len(shards) == 2
+    with pytest.raises(ValueError):
+        shard_cells(cells, 0)
+
+
+def test_cell_key_is_readable():
+    assert SweepCell("sp2", "alltoall", 1024, 32).key() == \
+        "sp2/alltoall/1024/32"

@@ -107,3 +107,62 @@ def test_fast_flag_sets_env(monkeypatch, capsys):
     main(["--fast", "measure", "t3d", "barrier", "--bytes", "0",
           "--nodes", "4", "--iterations", "1", "--runs", "1"])
     assert os.environ.get("REPRO_BENCH_FAST") == "1"
+
+
+def test_sweep_command_cold_then_warm(capsys, tmp_path):
+    out = tmp_path / "BENCH_sweep.json"
+    args = ["sweep", "--grid", "smoke", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--out", str(out),
+            "--csv", str(tmp_path / "sweep.csv"),
+            "--iterations", "1", "--runs", "1"]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "sweep smoke (mode=sim, workers=2)" in cold
+    assert "0 cache hits" in cold
+    assert out.exists()
+    assert (tmp_path / "sweep.csv").read_text().startswith("grid,")
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "0 evaluated" in warm
+    assert "20 cache hits" in warm
+
+
+def test_sweep_command_unknown_grid(capsys):
+    assert main(["sweep", "--grid", "fig9", "--no-cache"]) == 2
+    assert "known presets" in capsys.readouterr().err
+
+
+def test_diff_command_clean_and_dirty(capsys, tmp_path):
+    import json
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    base_args = ["sweep", "--grid", "smoke", "--mode", "model",
+                 "--no-cache"]
+    assert main(base_args + ["--out", str(first)]) == 0
+    assert main(base_args + ["--out", str(second)]) == 0
+    capsys.readouterr()
+
+    assert main(["diff", str(first), str(second)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    payload = json.loads(second.read_text())
+    payload["cells"][0]["result"]["time_us"] *= 2.0
+    second.write_text(json.dumps(payload))
+    assert main(["diff", str(first), str(second)]) == 1
+    dirty = capsys.readouterr().out
+    assert "1 changed" in dirty
+    assert main(["diff", str(first), str(second), "--rtol", "2"]) == 0
+
+
+def test_diff_against_checked_in_baseline(capsys, tmp_path):
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    out = tmp_path / "BENCH_sweep.json"
+    assert main(["sweep", "--grid", "smoke", "--mode", "model",
+                 "--no-cache", "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(baseline), str(out),
+                 "--rtol", "1e-9"]) == 0
+    assert "identical" in capsys.readouterr().out
