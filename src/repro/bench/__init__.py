@@ -8,6 +8,8 @@ from .compare import (
     winner,
 )
 from .asciiplot import ascii_plot, plot_figure
+from .degradation import chaos_report, degradation_curves, \
+    fault_counters
 from .diagnostics import RunDiagnostics, collect_diagnostics
 from .export import (
     figure_to_rows,
@@ -47,7 +49,10 @@ __all__ = [
     "bench_config",
     "bench_machine_sizes",
     "bench_message_sizes",
+    "chaos_report",
     "crossover_message_size",
+    "degradation_curves",
+    "fault_counters",
     "figure1",
     "figure2",
     "figure3",

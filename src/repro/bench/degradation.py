@@ -1,0 +1,106 @@
+"""Graceful-degradation benches: latency under faults vs fault-free.
+
+``degradation_curves`` reruns the paper's ``T0(p)`` startup-latency
+measurement under a :class:`~repro.faults.FaultPlan` and pairs every
+faulty curve with its clean baseline, so the latency penalty of
+rerouting and retransmission is visible point by point.
+``chaos_report`` runs one collective under a plan and reports what the
+injector actually did (reroutes, retransmits, lost messages, aborted
+transfers) next to the clean/faulty elapsed times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..core import QUICK_CONFIG, MeasurementConfig, \
+    measure_startup_latency
+from ..core.report import format_us
+from ..faults import FaultPlan
+from ..mpi import MpiWorld
+from .figures import FigureData
+from .workload import bench_machine_sizes
+
+__all__ = ["degradation_curves", "chaos_report", "fault_counters"]
+
+#: Injector counters surfaced by :func:`fault_counters`, in report
+#: order.
+COUNTER_NAMES = (
+    "reroutes",
+    "unroutable",
+    "transfers_aborted",
+    "retransmits",
+    "spurious_retransmits",
+    "messages_lost",
+    "messages_corrupted",
+)
+
+
+def degradation_curves(machine: str, op: str, plan: FaultPlan,
+                       node_counts: Optional[Sequence[int]] = None,
+                       config: MeasurementConfig = QUICK_CONFIG
+                       ) -> FigureData:
+    """``T0(p)`` with and without ``plan``, as paired figure series.
+
+    Series keys are ``(op, machine, "clean")`` and
+    ``(op, machine, plan.name)``; both are measured with the identical
+    protocol ``config`` (its ``faults`` field is overridden), so any
+    difference between the curves is the plan's doing.
+    """
+    sizes = tuple(node_counts) if node_counts is not None \
+        else bench_machine_sizes(machine)
+    clean_config = dataclasses.replace(config, faults=None)
+    fault_config = dataclasses.replace(config, faults=plan)
+    data = FigureData(
+        "Degradation", f"startup latency T0(p) on {machine} {op}, "
+                       f"clean vs fault plan {plan.name!r}", "us")
+    for p in sizes:
+        clean = measure_startup_latency(machine, op, p, clean_config)
+        data.add((op, machine, "clean"), p, clean.time_us)
+        faulty = measure_startup_latency(machine, op, p, fault_config)
+        data.add((op, machine, plan.name), p, faulty.time_us)
+    return data
+
+
+def fault_counters(world: MpiWorld) -> dict:
+    """The injector's counters as a plain dict (all zero when the
+    world runs without an injector)."""
+    injector = world.machine.injector
+    if injector is None:
+        return {name: 0 for name in COUNTER_NAMES}
+    return {name: getattr(injector, name) for name in COUNTER_NAMES}
+
+
+def chaos_report(machine: str, op: str, plan: FaultPlan,
+                 nbytes: int = 4096, num_nodes: int = 16,
+                 iterations: int = 1, seed: int = 0) -> str:
+    """Run ``op`` once clean and once under ``plan``; report both.
+
+    The report shows the elapsed times, the latency penalty, and every
+    nonzero injector counter — a one-screen answer to "what did this
+    fault plan actually do to the collective?".
+    """
+    clean_world = MpiWorld(machine, num_nodes, seed=seed)
+    clean_us = clean_world.run_collective(op, nbytes,
+                                          iterations=iterations)
+    fault_world = MpiWorld(machine, num_nodes, seed=seed, faults=plan)
+    faulty_us = fault_world.run_collective(op, nbytes,
+                                           iterations=iterations)
+    penalty = faulty_us - clean_us
+    rel = penalty / clean_us if clean_us else 0.0
+    lines = [
+        f"chaos {machine} {op} ({nbytes} B, {num_nodes} nodes, "
+        f"plan {plan.name!r}, seed {seed})",
+        f"  clean:  {format_us(clean_us)}",
+        f"  faulty: {format_us(faulty_us)} "
+        f"({penalty:+.1f} us, {rel:+.1%})",
+    ]
+    counters = fault_counters(fault_world)
+    shown = {name: count for name, count in counters.items() if count}
+    if shown:
+        lines.append("  injector: " + ", ".join(
+            f"{name}={count}" for name, count in shown.items()))
+    else:
+        lines.append("  injector: no faults fired")
+    return "\n".join(lines)

@@ -11,6 +11,8 @@ Examples::
         --out trace.json
     repro-bench profile t3d alltoall --bytes 4096 --nodes 32
     repro-bench sweep --grid fig3 --workers 8 --out BENCH_sweep.json
+    repro-bench sweep --grid smoke --faults lossy --cell-timeout 120
+    repro-bench chaos t3d broadcast --nodes 64
     repro-bench diff tests/golden/BENCH_sweep_baseline.json \\
         BENCH_sweep.json
 """
@@ -20,7 +22,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .bench import (
     figure1,
@@ -45,6 +47,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -162,6 +171,40 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--runs", type=_positive_int,
                        default=QUICK_CONFIG.runs)
     sweep.add_argument("--seed", type=int, default=QUICK_CONFIG.seed)
+    sweep.add_argument("--machines", metavar="NAMES",
+                       help="restrict the grid to these machines "
+                            "(comma-separated, e.g. sp2,t3d)")
+    sweep.add_argument("--ops", metavar="NAMES",
+                       help="restrict the grid to these collectives "
+                            "(comma-separated)")
+    sweep.add_argument("--faults", metavar="PRESET",
+                       help="inject a fault-plan preset into every "
+                            "cell (single-link-outage, flaky-link, "
+                            "lossy, slow-node, chaos); changes every "
+                            "cache fingerprint")
+    sweep.add_argument("--cell-timeout", type=_positive_float,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock budget; shards that "
+                            "blow it are requeued cell by cell and a "
+                            "cell that fails alone is quarantined")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run one collective clean and under a fault-plan preset; "
+             "report the latency penalty and injector counters")
+    chaos.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    chaos.add_argument("op")
+    chaos.add_argument("--faults", default="single-link-outage",
+                       metavar="PRESET",
+                       help="fault-plan preset (default "
+                            "single-link-outage)")
+    chaos.add_argument("--bytes", type=int, default=4096)
+    chaos.add_argument("--nodes", type=int, default=16)
+    chaos.add_argument("--iterations", type=_positive_int, default=1)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--curves", action="store_true",
+                       help="also print clean vs faulty T0(p) curves "
+                            "over the bench node counts")
 
     diff = sub.add_parser(
         "diff",
@@ -180,9 +223,53 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _csv_names(text: Optional[str]) -> Optional[Tuple[str, ...]]:
+    """Parse a ``--machines``/``--ops`` comma list (None = no filter)."""
+    if text is None:
+        return None
+    names = tuple(name.strip() for name in text.split(",")
+                  if name.strip())
+    return names
+
+
+def _filter_grid(grid, machines: Optional[Tuple[str, ...]],
+                 ops: Optional[Tuple[str, ...]]):
+    """Restrict a grid preset to the requested machines/collectives.
+
+    Raises ``ValueError`` when a filter names nothing in the grid or
+    empties it — an empty sweep is always a spelling mistake, not a
+    request.
+    """
+    import dataclasses as _dataclasses
+    if machines is not None:
+        kept = tuple(m for m in grid.machines if m in machines)
+        unknown = sorted(set(machines) - set(grid.machines))
+        if unknown:
+            raise ValueError(
+                f"--machines {','.join(unknown)} not in grid "
+                f"{grid.name!r} (has {', '.join(grid.machines)})")
+        grid = _dataclasses.replace(grid, machines=kept)
+    if ops is not None:
+        known = grid.ops + (("barrier",) if grid.include_barrier
+                            else ())
+        unknown = sorted(set(ops) - set(known))
+        if unknown:
+            raise ValueError(
+                f"--ops {','.join(unknown)} not in grid "
+                f"{grid.name!r} (has {', '.join(known)})")
+        grid = _dataclasses.replace(
+            grid, ops=tuple(op for op in grid.ops if op in ops),
+            include_barrier=grid.include_barrier and "barrier" in ops)
+    if not grid.cells():
+        raise ValueError(f"grid {grid.name!r} is empty after "
+                         f"filtering; nothing to sweep")
+    return grid
+
+
 def _run_sweep_command(args) -> int:
     from .bench import write_sweep_csv
     from .core import MeasurementConfig
+    from .faults import fault_preset
     from .runner import (
         ResultCache,
         SweepConfig,
@@ -193,17 +280,23 @@ def _run_sweep_command(args) -> int:
     )
     try:
         grid = preset_grid(args.grid)
-    except KeyError as error:
+        grid = _filter_grid(grid, _csv_names(args.machines),
+                            _csv_names(args.ops))
+        faults = None
+        if args.faults and args.faults != "none":
+            faults = fault_preset(args.faults)
+    except (KeyError, ValueError) as error:
         print(error.args[0], file=sys.stderr)
         return 2
     measurement = MeasurementConfig(
         iterations=args.iterations,
         warmup_iterations=QUICK_CONFIG.warmup_iterations,
-        runs=args.runs, seed=args.seed)
+        runs=args.runs, seed=args.seed, faults=faults)
     config = SweepConfig(mode=args.mode, workers=args.workers,
                          measurement=measurement,
                          cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache)
+                         use_cache=not args.no_cache,
+                         cell_timeout_s=args.cell_timeout)
     cache = ResultCache(args.cache_dir) if args.cache_dir \
         else ResultCache()
     cache.enabled = config.use_cache
@@ -212,10 +305,29 @@ def _run_sweep_command(args) -> int:
     result = run_sweep(grid.cells(), config, cache)
     print(f"sweep {grid.name} (mode={config.mode}, "
           f"workers={config.workers}): {result.summary()}")
+    for cell, reason in sorted(result.quarantined.items()):
+        print(f"quarantined {cell.key()}: {reason}", file=sys.stderr)
     artifact = build_artifact(result, grid.name, config)
     print(f"wrote {write_artifact(artifact, args.out)}")
     if args.csv:
         print(f"wrote {write_sweep_csv(artifact, args.csv)}")
+    return 1 if result.quarantined else 0
+
+
+def _run_chaos_command(args) -> int:
+    from .bench import chaos_report, degradation_curves
+    from .faults import fault_preset
+    try:
+        plan = fault_preset(args.faults)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(chaos_report(args.machine, args.op, plan,
+                       nbytes=args.bytes, num_nodes=args.nodes,
+                       iterations=args.iterations, seed=args.seed))
+    if args.curves:
+        print()
+        print(degradation_curves(args.machine, args.op, plan).format())
     return 0
 
 
@@ -232,7 +344,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.fast:
         os.environ["REPRO_BENCH_FAST"] = "1"
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # The sweep pool's context manager has already terminated its
+        # workers by the time the interrupt propagates here.
+        print("interrupted", file=sys.stderr)
+        return 130
 
+
+def _dispatch(args) -> int:
     if args.command == "figure":
         data = _FIGURES[args.number]()
         print(data.format())
@@ -306,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(capture.metrics.format_report())
     elif args.command == "sweep":
         return _run_sweep_command(args)
+    elif args.command == "chaos":
+        return _run_chaos_command(args)
     elif args.command == "diff":
         return _run_diff_command(args)
     return 0

@@ -23,8 +23,9 @@ from __future__ import annotations
 import hashlib
 import statistics
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
+from ..faults import FaultPlan
 from ..machines import MachineSpec, get_machine_spec
 from ..mpi import MpiWorld, RankContext
 from .metrics import STARTUP_PROBE_BYTES, CollectiveSample
@@ -50,6 +51,10 @@ class MeasurementConfig:
     runs: int = 5
     seed: int = 1997
     contention: bool = True
+    #: Fault plan injected into every run (``None`` = no faults).  The
+    #: plan is part of the config, so sweep-cell cache fingerprints
+    #: cover every one of its fields.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -58,6 +63,10 @@ class MeasurementConfig:
             raise ValueError("warmup_iterations must be >= 0")
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
+        if self.faults is not None and \
+                not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, got {self.faults!r}")
 
 
 #: Exactly the paper's parameters.
@@ -103,7 +112,8 @@ def measure_collective(machine: Union[str, MachineSpec], op: str,
     for run in range(config.runs):
         world = MpiWorld(spec, num_nodes,
                          seed=_run_seed(config, op, nbytes, num_nodes, run),
-                         contention=config.contention)
+                         contention=config.contention,
+                         faults=config.faults)
         local_times = world.run(_timing_program(op, nbytes, config))
         run_times.append(max(local_times))  # the paper's max-reduce
     return CollectiveSample(

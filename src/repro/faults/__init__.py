@@ -1,0 +1,35 @@
+"""Deterministic, seed-driven fault injection.
+
+Declarative :class:`FaultPlan` objects describe link outages and
+degradations, probabilistic message loss and corruption, NIC stalls,
+and node slowdowns; the :class:`FaultInjector` applies them to a
+running machine.  All randomness flows through the run's seeded
+:class:`~repro.sim.RandomStreams`, so faulty runs are exactly as
+reproducible — and as cache-fingerprintable — as fault-free ones.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FAULT_FREE,
+    FAULT_PRESETS,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    NicStall,
+    NodeSlowdown,
+    RetryConfig,
+    fault_preset,
+)
+
+__all__ = [
+    "FAULT_FREE",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "LinkOutage",
+    "NicStall",
+    "NodeSlowdown",
+    "RetryConfig",
+    "fault_preset",
+]

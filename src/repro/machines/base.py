@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..faults import FaultInjector, FaultPlan
 from ..network import (
     LinkParameters,
     Mesh2D,
@@ -216,7 +217,8 @@ class Machine:
                  streams: Optional[RandomStreams] = None,
                  tracer: Optional[Tracer] = None, contention: bool = True,
                  cpu_slowdown: Optional[Mapping[int, float]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 faults: Optional[FaultPlan] = None):
         if not 2 <= num_nodes <= spec.max_nodes:
             raise ValueError(
                 f"{spec.name} supports 2..{spec.max_nodes} nodes, "
@@ -240,11 +242,22 @@ class Machine:
                 raise ValueError(
                     f"slowdown factor must be >= 1.0, got {factor}")
         self.topology = spec.network.build_topology(num_nodes)
+        # A fault-free plan builds no injector at all, which keeps the
+        # fabric/NIC/jitter hot paths — and therefore every simulated
+        # time — identical to a run with no plan.
+        self.faults = faults
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None and not faults.is_fault_free():
+            self.injector = FaultInjector(env, faults, self.streams,
+                                          self.topology,
+                                          metrics=self.metrics,
+                                          tracer=self.tracer)
         self.fabric = NetworkFabric(env, self.topology,
                                     spec.network.link_parameters,
                                     contention=contention,
                                     tracer=self.tracer,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    injector=self.injector)
         self.nodes = [self._build_node(i) for i in range(num_nodes)]
         self.hardware_barrier: Optional[HardwareBarrier] = None
         if spec.barrier_wire is not None:
@@ -268,7 +281,8 @@ class Machine:
         nic = Nic(self.env, spec.nic.per_message_us, spec.nic.bandwidth_mbs,
                   half_duplex=spec.nic.half_duplex,
                   fast_bandwidth_mbs=spec.nic.fast_bandwidth_mbs,
-                  metrics=self.metrics)
+                  metrics=self.metrics, node_index=index,
+                  injector=self.injector)
         dma = DmaEngine(self.env, spec.dma, metrics=self.metrics) \
             if spec.dma is not None else None
         return Node(self.env, index, clock, memory, nic, dma)
@@ -281,7 +295,10 @@ class Machine:
         """
         draw = self.streams.jitter(f"sw.{node_index}",
                                    self.spec.software.jitter_sigma)
-        return draw * self.cpu_slowdown.get(node_index, 1.0)
+        factor = draw * self.cpu_slowdown.get(node_index, 1.0)
+        if self.injector is not None:
+            factor *= self.injector.cpu_factor(node_index, self.env.now)
+        return factor
 
     def log2_nodes(self) -> float:
         """log2 of the machine size (0 for a single node)."""

@@ -12,7 +12,7 @@ from .datatypes import (
     Datatype,
     message_bytes,
 )
-from .errors import MpiError, RankError, TruncationError
+from .errors import DeliveryError, MpiError, RankError, TruncationError
 from .transport import Envelope, PostedReceive, Transport
 from .world import MpiWorld, Program
 
@@ -20,6 +20,7 @@ __all__ = [
     "COLLECTIVE_OPS",
     "Communicator",
     "Datatype",
+    "DeliveryError",
     "Envelope",
     "MPI_BYTE",
     "MPI_CHAR",

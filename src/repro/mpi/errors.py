@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MpiError", "RankError", "TruncationError"]
+__all__ = ["MpiError", "RankError", "TruncationError", "DeliveryError"]
 
 
 class MpiError(Exception):
@@ -19,4 +19,31 @@ class RankError(MpiError):
 
 
 class TruncationError(MpiError):
-    """A receive completed with an unexpected message size."""
+    """A receive completed with a message larger than its buffer
+    (``MPI_ERR_TRUNCATE``)."""
+
+    def __init__(self, expected_nbytes: int, actual_nbytes: int,
+                 src: int, dst: int):
+        super().__init__(
+            f"receive at rank {dst} from {src} truncated: buffer holds "
+            f"{expected_nbytes} bytes, message carries {actual_nbytes}")
+        self.expected_nbytes = expected_nbytes
+        self.actual_nbytes = actual_nbytes
+        self.src = src
+        self.dst = dst
+
+
+class DeliveryError(MpiError):
+    """The resilient transport gave up on a message: every transmission
+    attempt was lost, corrupted, or aborted by a link failure, and the
+    retry budget (:class:`~repro.faults.RetryConfig.max_retries`) is
+    exhausted."""
+
+    def __init__(self, src: int, dst: int, tag: object, attempts: int):
+        super().__init__(
+            f"message {src}->{dst} (tag {tag!r}) undeliverable after "
+            f"{attempts} attempts")
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.attempts = attempts

@@ -29,9 +29,10 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from ..machines import Machine
+from ..network import TransferAborted
 from ..node import TransferMode
 from ..sim import Event, Span
-from .errors import RankError
+from .errors import DeliveryError, RankError, TruncationError
 
 __all__ = ["Envelope", "PostedReceive", "Transport"]
 
@@ -139,6 +140,26 @@ class Transport:
               ) -> Generator[Event, None, None]:
         envelope = Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes,
                             sent_at=self.env.now, span=span)
+        injector = self.machine.injector
+        if injector is None:
+            yield from self._wire_once(src, dst, nbytes, op, fast, span)
+        else:
+            yield from self._wire_reliably(injector, src, dst, nbytes,
+                                           tag, op, fast, span)
+        yield self.env.timeout(
+            self.spec.software.deliver_us * self.machine.jitter(dst))
+        envelope.delivered_at = self.env.now
+        tracer = self.machine.tracer
+        if span is not None:
+            tracer.end(span, self.env.now)
+        if phase_span is not None:
+            # The phase lasts until its last member message lands.
+            tracer.extend(phase_span, self.env.now)
+        self._deliver(envelope)
+
+    def _wire_once(self, src: int, dst: int, nbytes: int, op: str,
+                   fast: bool, span: Optional[Span]
+                   ) -> Generator[Event, None, None]:
         src_node = self.machine.nodes[src]
         dst_node = self.machine.nodes[dst]
         # The destination drains at DMA speed when its policy offloads
@@ -157,16 +178,64 @@ class Transport:
             self.env.process(dst_node.nic.receive(nbytes, fast=fast_rx)),
         ]
         yield self.env.all_of(legs)
-        yield self.env.timeout(
-            self.spec.software.deliver_us * self.machine.jitter(dst))
-        envelope.delivered_at = self.env.now
-        tracer = self.machine.tracer
-        if span is not None:
-            tracer.end(span, self.env.now)
-        if phase_span is not None:
-            # The phase lasts until its last member message lands.
-            tracer.extend(phase_span, self.env.now)
-        self._deliver(envelope)
+
+    def _wire_reliably(self, injector, src: int, dst: int, nbytes: int,
+                       tag: object, op: str, fast: bool,
+                       span: Optional[Span]
+                       ) -> Generator[Event, None, None]:
+        """Ack/timeout/retransmit protocol around the wire legs.
+
+        Each attempt pays the full wire pipeline, then draws a fate
+        from the plan's seeded stream.  A lost, corrupted, or aborted
+        attempt delivers nothing: the sender learns of the failure only
+        when the attempt's retransmission timeout (exponential backoff,
+        bounded) expires, then retransmits — possibly over a detour if
+        a link died meanwhile.  After ``max_retries`` retransmissions
+        the message fails with :class:`DeliveryError`.
+        """
+        retry = injector.plan.retry
+        src_node = self.machine.nodes[src]
+        dst_node = self.machine.nodes[dst]
+        fast_rx = dst_node.payload_mode(self.spec.uses_dma_for(op),
+                                        nbytes) is not TransferMode.HOST
+        attempts = retry.max_retries + 1
+        for attempt in range(attempts):
+            started = self.env.now
+            fate = injector.message_fate(src, dst)
+            aborted: List[TransferAborted] = []
+
+            def carry() -> Generator[Event, None, None]:
+                try:
+                    yield from self.machine.fabric.transfer(
+                        src, dst, nbytes, parent_span=span)
+                except TransferAborted as failure:
+                    aborted.append(failure)
+
+            legs = [
+                self.env.process(src_node.nic.transmit(nbytes, fast=fast)),
+                self.env.process(carry(), name=f"carry-{src}-{dst}"),
+                self.env.process(dst_node.nic.receive(nbytes,
+                                                      fast=fast_rx)),
+            ]
+            yield self.env.all_of(legs)
+            wire_us = self.env.now - started
+            rto = retry.timeout_for_attempt(attempt)
+            if not aborted and fate == "ok":
+                # Delivered.  If wire + ack return exceeded the RTO the
+                # real protocol would have retransmitted needlessly;
+                # count it, but don't re-run the delivery.
+                ack_us = self.machine.fabric.transfer_time(
+                    dst, src, retry.ack_bytes)
+                if wire_us + ack_us > rto:
+                    injector.record_spurious_retransmit()
+                return
+            # Failed attempt: no ack will come, so the sender sits out
+            # the rest of the RTO before trying again.
+            if rto > wire_us:
+                yield self.env.timeout(rto - wire_us)
+            if attempt + 1 < attempts:
+                injector.record_retransmit()
+        raise DeliveryError(src, dst, tag, attempts)
 
     def _deliver(self, envelope: Envelope) -> None:
         metrics = self.machine.metrics
@@ -211,10 +280,21 @@ class Transport:
 
     def complete_receive(self, rank: int, receive: PostedReceive,
                          op: str = "ptp", buffered: bool = False,
-                         sw_cost_us: Optional[float] = None
+                         sw_cost_us: Optional[float] = None,
+                         expected_nbytes: Optional[int] = None
                          ) -> Generator[Event, None, Envelope]:
-        """Process generator: wait for and retire a posted receive."""
+        """Process generator: wait for and retire a posted receive.
+
+        ``expected_nbytes`` is the receive buffer size: a matched
+        message larger than it raises :class:`TruncationError`, MPI's
+        ``MPI_ERR_TRUNCATE`` (``None`` skips the check — the buffer is
+        assumed to fit, as inside collectives).
+        """
         envelope = yield receive.event
+        if expected_nbytes is not None and \
+                envelope.nbytes > expected_nbytes:
+            raise TruncationError(expected_nbytes, envelope.nbytes,
+                                  envelope.src, rank)
         software = self.spec.software
         node = self.machine.nodes[rank]
         if sw_cost_us is not None:

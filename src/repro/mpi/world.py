@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional, Union
 
+from ..faults import FaultPlan
 from ..machines import Machine, MachineSpec, get_machine_spec
 from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, RandomStreams, Tracer
@@ -37,7 +38,8 @@ class MpiWorld:
     def __init__(self, machine: Union[str, MachineSpec], num_nodes: int,
                  seed: int = 0, contention: bool = True,
                  trace: bool = False, metrics: bool = False,
-                 cpu_slowdown: Optional[dict] = None):
+                 cpu_slowdown: Optional[dict] = None,
+                 faults: Optional[FaultPlan] = None):
         spec = get_machine_spec(machine) if isinstance(machine, str) \
             else machine
         self.env = Environment()
@@ -48,7 +50,7 @@ class MpiWorld:
                                streams=self.streams, tracer=self.tracer,
                                contention=contention,
                                cpu_slowdown=cpu_slowdown,
-                               metrics=self.metrics)
+                               metrics=self.metrics, faults=faults)
         self.comm = Communicator(self.machine)
 
     @property
@@ -103,6 +105,12 @@ class MpiWorld:
         def body(ctx: RankContext):
             for _ in range(iterations):
                 yield from ctx.collective(op, nbytes, root)
+            return self.env.now
 
-        self.run(body)
+        finished = self.run(body)
+        if self.machine.injector is not None:
+            # Draining the queue also fires fault watchdog timers that
+            # may sit far past the last rank's completion; measure to
+            # the last rank, not to the drained clock.
+            return max(finished) - start
         return self.env.now - start

@@ -1,6 +1,6 @@
 """Interconnection-network models: topologies, links, and the fabric."""
 
-from .fabric import NetworkFabric
+from .fabric import NetworkFabric, TransferAborted
 from .link import Link, LinkParameters, bandwidth_to_us_per_byte
 from .mesh import Mesh2D
 from .multistage import OmegaNetwork
@@ -16,5 +16,6 @@ __all__ = [
     "OmegaNetwork",
     "Topology",
     "Torus3D",
+    "TransferAborted",
     "bandwidth_to_us_per_byte",
 ]

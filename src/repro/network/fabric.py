@@ -23,14 +23,27 @@ the machine's metrics registry.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
-from ..sim import Environment, Event, Span, Tracer
+from ..sim import Environment, Event, Interrupt, Span, Tracer
 from .link import Link, LinkParameters
 from .topology import LinkId, Topology
 
-__all__ = ["NetworkFabric"]
+__all__ = ["NetworkFabric", "TransferAborted"]
+
+
+class TransferAborted(Exception):
+    """A transfer died in the network: its route crossed a link that
+    failed mid-flight, or no live route existed when it was issued.
+    The resilient transport treats this exactly like a lost message and
+    retransmits (possibly over a detour)."""
+
+    def __init__(self, src: int, dst: int, reason: str):
+        super().__init__(f"transfer {src}->{dst} aborted: {reason}")
+        self.src = src
+        self.dst = dst
+        self.reason = reason
 
 
 class NetworkFabric:
@@ -39,7 +52,8 @@ class NetworkFabric:
     def __init__(self, env: Environment, topology: Topology,
                  params: LinkParameters, contention: bool = True,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 injector: Optional[object] = None):
         self.env = env
         self.topology = topology
         self.params = params
@@ -47,6 +61,10 @@ class NetworkFabric:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry(enabled=False)
+        #: Optional :class:`~repro.faults.FaultInjector`.  ``None`` (the
+        #: default, and always the case for fault-free plans) keeps the
+        #: transfer hot path identical to the no-faults build.
+        self.injector = injector
         self._links: Dict[LinkId, Link] = {}
         self._order: Dict[LinkId, int] = {}
         for index, link_id in enumerate(topology.links()):
@@ -63,6 +81,24 @@ class NetworkFabric:
         return hops * self.params.hop_latency_us + \
             nbytes * self.params.us_per_byte
 
+    def _select_route(self, src: int, dst: int) -> List[LinkId]:
+        """The route a transfer issued now takes, detouring around any
+        dead links.  Raises :class:`TransferAborted` when the live
+        links no longer connect the pair."""
+        injector = self.injector
+        if injector is None:
+            return self.topology.route(src, dst)
+        dead = injector.dead_links(self.env.now)
+        route = self.topology.route(src, dst)
+        if not dead or not any(link in dead for link in route):
+            return route
+        detour = self.topology.reroute(src, dst, dead)
+        if detour is None:
+            injector.record_unroutable()
+            raise TransferAborted(src, dst, "no live route")
+        injector.record_reroute()
+        return detour
+
     def transfer(self, src: int, dst: int, nbytes: int,
                  parent_span: Optional[Span] = None
                  ) -> Generator[Event, None, None]:
@@ -72,47 +108,85 @@ class NetworkFabric:
         self-transfer (``src == dst``) completes immediately: it never
         enters the fabric.  ``parent_span`` (the enclosing message
         span) becomes the parent of the per-link occupancy spans.
+
+        With a fault injector attached, the route detours around dead
+        links, per-byte time stretches by the worst active degradation
+        on the route, and a link dying mid-flight aborts the transfer
+        with :class:`TransferAborted` (the injector interrupts this
+        process; held links are released first).
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        route = self.topology.route(src, dst)
+        injector = self.injector
+        route = self._select_route(src, dst)
         if not route:
             return
+        factor = 1.0 if injector is None else \
+            injector.route_degrade_factor(route, self.env.now)
         hold = len(route) * self.params.hop_latency_us + \
-            nbytes * self.params.us_per_byte
+            nbytes * self.params.us_per_byte * factor
+        if injector is None:
+            yield from self._occupy(route, nbytes, hold, src, dst,
+                                    parent_span)
+            return
+        process = self.env.active_process
+        injector.begin_transfer(process, route)
+        try:
+            yield from self._occupy(route, nbytes, hold, src, dst,
+                                    parent_span)
+        except Interrupt as interrupt:
+            injector.record_abort()
+            raise TransferAborted(src, dst,
+                                  f"interrupted: {interrupt.cause}")
+        finally:
+            injector.end_transfer(process)
+
+    def _occupy(self, route: List[LinkId], nbytes: int, hold: float,
+                src: int, dst: int, parent_span: Optional[Span]
+                ) -> Generator[Event, None, None]:
+        """Acquire the route, hold it, release it.  On an Interrupt
+        every acquired (or still queued) request is released before the
+        exception propagates, so a dying transfer never wedges a link."""
         if not self.contention:
             yield self.env.timeout(hold)
             return
         ordered = sorted(route, key=self._order.__getitem__)
-        requests = []
+        requests: List[Tuple[LinkId, Event]] = []
+        occupancy: List[Span] = []
         queued_at = self.env.now
-        for link_id in ordered:
-            arrived = self.env.now
-            request = self._links[link_id].resource.request()
-            requests.append((link_id, request))
-            yield request
-            link_wait = self.env.now - arrived
-            if link_wait > 0:
-                self._links[link_id].record_wait(link_wait)
-        wait = self.env.now - queued_at
-        metrics = self.metrics
-        if metrics.enabled:
-            metrics.counter("fabric.transfers").inc()
-            metrics.histogram("fabric.transfer_bytes").observe(nbytes)
+        try:
+            for link_id in ordered:
+                arrived = self.env.now
+                request = self._links[link_id].resource.request()
+                requests.append((link_id, request))
+                yield request
+                link_wait = self.env.now - arrived
+                if link_wait > 0:
+                    self._links[link_id].record_wait(link_wait)
+            wait = self.env.now - queued_at
+            metrics = self.metrics
+            if metrics.enabled:
+                metrics.counter("fabric.transfers").inc()
+                metrics.histogram("fabric.transfer_bytes").observe(nbytes)
+                if wait > 0:
+                    metrics.counter("fabric.contention_stalls").inc()
+                    metrics.histogram("fabric.wait_us").observe(wait)
             if wait > 0:
-                metrics.counter("fabric.contention_stalls").inc()
-                metrics.histogram("fabric.wait_us").observe(wait)
-        if wait > 0:
-            self.tracer.emit(self.env.now, "link-contention", src,
-                             dst=dst, waited_us=wait, nbytes=nbytes)
-        occupancy = []
-        if self.tracer.enabled:
-            occupancy = [
-                self.tracer.begin(self.env.now, f"link {link_id}",
-                                  "link", node=src, parent=parent_span,
-                                  dst=dst, nbytes=nbytes)
-                for link_id, _ in requests]
-        yield self.env.timeout(hold)
+                self.tracer.emit(self.env.now, "link-contention", src,
+                                 dst=dst, waited_us=wait, nbytes=nbytes)
+            if self.tracer.enabled:
+                occupancy = [
+                    self.tracer.begin(self.env.now, f"link {link_id}",
+                                      "link", node=src, parent=parent_span,
+                                      dst=dst, nbytes=nbytes)
+                    for link_id, _ in requests]
+            yield self.env.timeout(hold)
+        except Interrupt:
+            for link_id, request in requests:
+                self._links[link_id].resource.release(request)
+            for span in occupancy:
+                self.tracer.end(span, self.env.now)
+            raise
         for link_id, request in requests:
             self._links[link_id].record(nbytes, busy_us=hold)
             self._links[link_id].resource.release(request)

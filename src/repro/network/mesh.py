@@ -68,6 +68,17 @@ class Mesh2D(Topology):
                     out.append(("mesh", (x, y + 1), (x, y)))
         return out
 
+    def neighbors(self, node: int) -> List[Tuple[int, LinkId]]:
+        """Adjacent nodes and the directed links toward them (+x, -x,
+        +y, -y order)."""
+        x, y = self.coordinates(node)
+        out: List[Tuple[int, LinkId]] = []
+        for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                out.append((self.node_at(nx, ny),
+                            ("mesh", (x, y), (nx, ny))))
+        return out
+
     def route(self, src: int, dst: int) -> List[LinkId]:
         validate_route_endpoints(self, src, dst)
         x, y = self.coordinates(src)

@@ -17,7 +17,7 @@ wire, so link ids are ``("ms", stage, position_after_stage)``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import AbstractSet, List, Optional, Sequence
 
 from .topology import LinkId, Topology, validate_route_endpoints
 
@@ -82,3 +82,21 @@ class OmegaNetwork(Topology):
     def distance(self, src: int, dst: int) -> int:
         validate_route_endpoints(self, src, dst)
         return 0 if src == dst else self.stages
+
+    def reroute(self, src: int, dst: int,
+                dead: AbstractSet[LinkId]) -> Optional[List[LinkId]]:
+        """Alternate-path selection: misroute via an intermediate port.
+
+        A multistage fabric has one destination-tag path per pair, but
+        the SP2's switch frames offered alternates; we model them as a
+        two-pass traversal ``src -> via -> dst`` through the fabric
+        (double the stage latency), trying intermediate ports in
+        ascending order so the selection is deterministic.
+        """
+        for via in range(self.num_nodes):
+            if via == src or via == dst:
+                continue
+            candidate = self.route(src, via) + self.route(via, dst)
+            if not any(link in dead for link in candidate):
+                return candidate
+        return None

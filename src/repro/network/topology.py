@@ -15,7 +15,15 @@ Links are identified by hashable ids; the conventional id is a tuple
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Hashable, List, Sequence
+from collections import deque
+from typing import (
+    AbstractSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 __all__ = ["Topology", "LinkId", "validate_route_endpoints"]
 
@@ -49,6 +57,65 @@ class Topology(ABC):
     def distance(self, src: int, dst: int) -> int:
         """Hop count between two nodes (length of the route)."""
         return len(self.route(src, dst))
+
+    # -- fault-aware routing ------------------------------------------------
+    def neighbors(self, node: int) -> List[Tuple[int, LinkId]]:
+        """``(neighbour, link)`` pairs out of ``node``, in stable order.
+
+        Direct topologies (mesh, torus) implement this to enable the
+        generic BFS :meth:`reroute`; indirect topologies (multistage)
+        have no node-to-node links and override :meth:`reroute`
+        directly instead.
+        """
+        raise NotImplementedError
+
+    def route_avoiding(self, src: int, dst: int,
+                       dead: AbstractSet[LinkId]
+                       ) -> Optional[List[LinkId]]:
+        """A route from ``src`` to ``dst`` using no link in ``dead``.
+
+        Returns the primary dimension-order route when it is clean, a
+        deterministic detour otherwise, or ``None`` when ``dead``
+        disconnects the pair.
+        """
+        route = self.route(src, dst)
+        if not any(link in dead for link in route):
+            return route
+        return self.reroute(src, dst, dead)
+
+    def reroute(self, src: int, dst: int,
+                dead: AbstractSet[LinkId]) -> Optional[List[LinkId]]:
+        """Shortest detour around ``dead``, or ``None`` if disconnected.
+
+        The default is a breadth-first search over :meth:`neighbors`;
+        expansion order is the (stable) neighbour order, so the detour
+        chosen is deterministic.  Topologies that provide neither
+        ``neighbors`` nor their own ``reroute`` have no alternate
+        paths.
+        """
+        try:
+            self.neighbors(src)
+        except NotImplementedError:
+            return None
+        parents = {src: None}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            if node == dst:
+                break
+            for neighbour, link in self.neighbors(node):
+                if neighbour not in parents and link not in dead:
+                    parents[neighbour] = (node, link)
+                    frontier.append(neighbour)
+        if dst not in parents:
+            return None
+        hops: List[LinkId] = []
+        node = dst
+        while parents[node] is not None:
+            node, link = parents[node]
+            hops.append(link)
+        hops.reverse()
+        return hops
 
     def check_node(self, node: int) -> None:
         """Raise ``ValueError`` for out-of-range node ids."""

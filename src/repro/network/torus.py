@@ -105,6 +105,30 @@ class Torus3D(Topology):
                 unique.append(link)
         return unique
 
+    def neighbors(self, node: int) -> List[Tuple[int, LinkId]]:
+        """Adjacent nodes and the directed links toward them.
+
+        Order is axis-major (x, y, z), positive direction first.  On a
+        size-2 ring both directions reach the same neighbour over the
+        same link, so the pair appears once.
+        """
+        here = self.coordinates(node)
+        out: List[Tuple[int, LinkId]] = []
+        seen = set()
+        for axis in range(3):
+            size = self.shape[axis]
+            if size == 1:
+                continue
+            for step in (1, -1):
+                coords = list(here)
+                coords[axis] = (coords[axis] + step) % size
+                neighbour = tuple(coords)
+                link = ("torus", axis, here, neighbour)
+                if link not in seen:
+                    seen.add(link)
+                    out.append((self.node_at(*neighbour), link))
+        return out
+
     def route(self, src: int, dst: int) -> List[LinkId]:
         validate_route_endpoints(self, src, dst)
         nx, ny, nz = self.shape

@@ -28,7 +28,9 @@ class Nic:
     def __init__(self, env: Environment, per_message_us: float,
                  bandwidth_mbs: float, half_duplex: bool = False,
                  fast_bandwidth_mbs: Optional[float] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 node_index: int = -1,
+                 injector: Optional[object] = None):
         if bandwidth_mbs <= 0:
             raise ValueError(f"bandwidth must be positive, got "
                              f"{bandwidth_mbs}")
@@ -47,6 +49,10 @@ class Nic:
         self.half_duplex = half_duplex
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry(enabled=False)
+        #: Which node this adapter belongs to, and the optional
+        #: :class:`~repro.faults.FaultInjector` that can stall it.
+        self.node_index = node_index
+        self.injector = injector
         self._tx = Resource(env, capacity=1)
         self._rx = self._tx if half_duplex else Resource(env, capacity=1)
         self.messages_sent = 0
@@ -88,5 +94,10 @@ class Nic:
             metrics.histogram(f"{label}.busy_us").observe(
                 self.occupancy_us(nbytes, fast))
         yield request
+        if self.injector is not None:
+            # The injector records faults.nic_stall* metrics itself.
+            stall = self.injector.nic_delay(self.node_index, self.env.now)
+            if stall > 0:
+                yield self.env.timeout(stall)
         yield self.env.timeout(self.occupancy_us(nbytes, fast))
         engine.release(request)

@@ -38,6 +38,8 @@ def build_artifact(result: SweepResult, grid_name: str,
     """Assemble the canonical artifact document for one sweep."""
     cells = []
     for cell in result.cells:
+        if cell in result.quarantined:
+            continue
         cells.append({
             "machine": cell.machine,
             "op": cell.op,
@@ -46,7 +48,7 @@ def build_artifact(result: SweepResult, grid_name: str,
             "fingerprint": result.fingerprints[cell],
             "result": result.results[cell],
         })
-    return {
+    payload = {
         "schema": ARTIFACT_SCHEMA,
         "grid": grid_name,
         "mode": config.mode,
@@ -54,6 +56,17 @@ def build_artifact(result: SweepResult, grid_name: str,
         "config": to_jsonable(config.cell_config()),
         "cells": cells,
     }
+    if result.quarantined:
+        # Only present when something failed, so clean runs stay
+        # byte-identical to pre-quarantine artifacts.
+        payload["quarantined"] = [{
+            "machine": cell.machine,
+            "op": cell.op,
+            "nbytes": cell.nbytes,
+            "p": cell.p,
+            "reason": reason,
+        } for cell, reason in sorted(result.quarantined.items())]
+    return payload
 
 
 def dumps_artifact(payload: Dict[str, object]) -> str:

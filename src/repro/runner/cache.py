@@ -16,14 +16,25 @@ torn file behind; unreadable or corrupt entries degrade to misses.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+#: Version of the on-disk entry envelope (payload + checksum).
+ENTRY_SCHEMA = 2
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical rendering of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -43,10 +54,16 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Entries that existed but failed parsing or checksum validation
+    #: (each also counts as a miss — the caller recomputes).
+    corrupt: int = 0
 
     def format(self) -> str:
-        return (f"{self.hits} hits, {self.misses} misses, "
+        text = (f"{self.hits} hits, {self.misses} misses, "
                 f"{self.writes} writes")
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt"
+        return text
 
 
 @dataclass
@@ -67,28 +84,70 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` on any miss.
 
-        A corrupt, truncated, or unreadable entry counts as a miss —
-        the caller recomputes and overwrites it.
+        A corrupt entry — unparseable JSON, a malformed envelope, or a
+        checksum mismatch (torn write, bit rot, manual edit) — counts
+        as a miss *and* raises a :class:`UserWarning`; the caller
+        recomputes and overwrites it.  A missing file is a plain miss.
         """
         if not self.enabled:
             return None
+        path = self.path_for(key)
         try:
-            with self.path_for(key).open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+            with path.open("r", encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        entry = self._validate(path, raw)
+        if entry is None:
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return payload
+        return entry
+
+    def _validate(self, path: Path, raw: str) -> Optional[Dict[str, Any]]:
+        """Parse and checksum one entry; warn and return None if bad."""
+        try:
+            envelope = json.loads(raw)
+        except ValueError:
+            warnings.warn(f"skipping corrupt cache entry {path}: "
+                          f"unparseable JSON")
+            return None
+        if not isinstance(envelope, dict) or \
+                not isinstance(envelope.get("payload"), dict) or \
+                "checksum" not in envelope:
+            warnings.warn(f"skipping corrupt cache entry {path}: "
+                          f"malformed envelope")
+            return None
+        expected = envelope["checksum"]
+        actual = _payload_checksum(envelope["payload"])
+        if actual != expected:
+            warnings.warn(f"skipping corrupt cache entry {path}: "
+                          f"checksum mismatch")
+            return None
+        return envelope["payload"]
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``.
+
+        The entry is written to a temp file in the destination
+        directory and renamed into place (``os.replace``), so a
+        concurrent reader sees either the old entry or the new one,
+        never a torn file; the embedded checksum catches anything that
+        corrupts the bytes after the write.
+        """
         if not self.enabled:
             return
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": ENTRY_SCHEMA,
+            "checksum": _payload_checksum(payload),
+            "payload": payload,
+        }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+        tmp.write_text(json.dumps(envelope, sort_keys=True), "utf-8")
         os.replace(tmp, path)
         self.stats.writes += 1
 

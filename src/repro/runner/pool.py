@@ -24,7 +24,7 @@ import dataclasses
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core import (
     QUICK_CONFIG,
@@ -33,6 +33,7 @@ from ..core import (
     measure_collective,
     paper_expression,
 )
+from ..faults import FaultPlan
 from ..machines import MachineSpec, get_machine_spec
 from .cache import ResultCache
 from .fingerprint import cell_fingerprint
@@ -55,6 +56,13 @@ class SweepConfig:
     measurement: MeasurementConfig = QUICK_CONFIG
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    #: Per-cell wall-clock budget (seconds).  A shard that exceeds
+    #: ``cell_timeout_s * len(shard)`` is presumed stuck or its worker
+    #: crashed: its cells are requeued one at a time, and a cell that
+    #: fails alone is quarantined instead of sinking the sweep.
+    #: ``None`` disables the watchdog (a crashed worker then hangs the
+    #: sweep, as a plain pool would).
+    cell_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in SWEEP_MODES:
@@ -62,6 +70,9 @@ class SweepConfig:
                              f"expected one of {SWEEP_MODES}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError(f"cell_timeout_s must be > 0, got "
+                             f"{self.cell_timeout_s}")
 
     def cell_config(self) -> Optional[MeasurementConfig]:
         """The protocol that keys cache entries (``None`` off the
@@ -79,10 +90,18 @@ class SweepResult:
     cache_hits: int = 0
     evaluated: int = 0
     elapsed_s: float = 0.0
+    #: Cells that failed or timed out even alone, with the reason.
+    #: They have no entry in ``results`` and are never cached.
+    quarantined: Dict[SweepCell, str] = field(default_factory=dict)
+    #: Cells resubmitted individually after their shard failed.
+    requeued: int = 0
 
     def summary(self) -> str:
-        return (f"{len(self.cells)} cells, {self.evaluated} evaluated, "
+        text = (f"{len(self.cells)} cells, {self.evaluated} evaluated, "
                 f"{self.cache_hits} cache hits, {self.elapsed_s:.2f} s")
+        if self.quarantined:
+            text += f", {len(self.quarantined)} quarantined"
+        return text
 
 
 def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
@@ -110,6 +129,23 @@ def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
     raise ValueError(f"unknown sweep mode {mode!r}")
 
 
+def _rebuild_config(config_kwargs: Dict[str, object]
+                    ) -> Optional[MeasurementConfig]:
+    """Rebuild a MeasurementConfig from its pickled plain-dict form.
+
+    ``dataclasses.asdict`` flattens a nested :class:`FaultPlan` into
+    dicts; restore it so workers inject the same faults the parent
+    configured.
+    """
+    if not config_kwargs:
+        return None
+    kwargs = dict(config_kwargs)
+    faults = kwargs.get("faults")
+    if isinstance(faults, Mapping):
+        kwargs["faults"] = FaultPlan.from_dict(faults)
+    return MeasurementConfig(**kwargs)
+
+
 def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
                                 Dict[str, object], str]
                     ) -> List[Tuple[Tuple[str, str, int, int],
@@ -120,7 +156,7 @@ def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
     any multiprocessing start method.
     """
     cell_tuples, config_kwargs, mode = task
-    config = MeasurementConfig(**config_kwargs) if config_kwargs else None
+    config = _rebuild_config(config_kwargs)
     out = []
     for cell_tuple in cell_tuples:
         cell = SweepCell(*cell_tuple)
@@ -128,24 +164,78 @@ def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
     return out
 
 
+def _shard_task(shard: Sequence[SweepCell],
+                config_kwargs: Dict[str, object], mode: str):
+    return (tuple(dataclasses.astuple(cell) for cell in shard),
+            config_kwargs, mode)
+
+
 def _evaluate_parallel(cells: Sequence[SweepCell],
                        config: SweepConfig
-                       ) -> Dict[SweepCell, Dict[str, float]]:
-    """Fan simulation cells out across a worker pool."""
+                       ) -> Tuple[Dict[SweepCell, Dict[str, float]],
+                                  Dict[SweepCell, str], int]:
+    """Fan simulation cells out across a worker pool.
+
+    Returns ``(results, quarantined, requeued)``.  A shard whose worker
+    raises, crashes, or blows its time budget is split and resubmitted
+    one cell at a time (crash/hang detection needs
+    ``config.cell_timeout_s``; exceptions are caught either way); a
+    cell that fails alone lands in ``quarantined`` with the reason
+    rather than aborting the sweep.
+    """
     config_kwargs = dataclasses.asdict(config.measurement)
-    shards = shard_cells(tuple(cells), config.workers)
-    tasks = [(tuple(dataclasses.astuple(cell) for cell in shard),
-              config_kwargs, config.mode) for shard in shards]
-    if len(tasks) <= 1:
-        shard_outputs = [_evaluate_shard(task) for task in tasks]
-    else:
-        with multiprocessing.Pool(processes=len(tasks)) as pool:
-            shard_outputs = pool.map(_evaluate_shard, tasks)
+    mode = config.mode
     results: Dict[SweepCell, Dict[str, float]] = {}
-    for output in shard_outputs:
-        for cell_tuple, result in output:
-            results[SweepCell(*cell_tuple)] = result
-    return results
+    quarantined: Dict[SweepCell, str] = {}
+    requeued = 0
+    shards = [tuple(shard)
+              for shard in shard_cells(tuple(cells), config.workers)
+              if shard]
+    if config.workers == 1 and config.cell_timeout_s is None:
+        # In-process fast path: no pool, but the same per-cell
+        # quarantine semantics.
+        cell_config = _rebuild_config(config_kwargs)
+        for cell in cells:
+            try:
+                results[cell] = evaluate_cell(cell, cell_config, mode)
+            except Exception as exc:
+                quarantined[cell] = repr(exc)
+        return results, quarantined, requeued
+    with multiprocessing.Pool(processes=config.workers) as pool:
+        pending: List[Tuple[SweepCell, ...]] = shards
+        while pending:
+            batch, pending = pending, []
+            handles = [
+                (shard, pool.apply_async(
+                    _evaluate_shard,
+                    (_shard_task(shard, config_kwargs, mode),)))
+                for shard in batch
+            ]
+            for shard, handle in handles:
+                failure = None
+                output = None
+                try:
+                    if config.cell_timeout_s is None:
+                        output = handle.get()
+                    else:
+                        budget = config.cell_timeout_s * len(shard)
+                        output = handle.get(timeout=budget)
+                except multiprocessing.TimeoutError:
+                    failure = (f"timed out after "
+                               f"{config.cell_timeout_s * len(shard):g} s "
+                               f"(worker stuck or crashed)")
+                except Exception as exc:
+                    failure = repr(exc)
+                if output is not None:
+                    for cell_tuple, result in output:
+                        results[SweepCell(*cell_tuple)] = result
+                elif len(shard) > 1:
+                    # Isolate the poison cell: retry one at a time.
+                    requeued += len(shard)
+                    pending.extend((cell,) for cell in shard)
+                else:
+                    quarantined[shard[0]] = failure or "unknown failure"
+    return results, quarantined, requeued
 
 
 def _evaluate_batched(cells: Sequence[SweepCell],
@@ -206,12 +296,17 @@ def run_sweep(cells: Sequence[SweepCell],
         else:
             missing.append(cell)
 
+    quarantined: Dict[SweepCell, str] = {}
+    requeued = 0
     if missing:
         if config.mode == "sim":
-            computed = _evaluate_parallel(missing, config)
+            computed, quarantined, requeued = \
+                _evaluate_parallel(missing, config)
         else:
             computed = _evaluate_batched(missing, specs, config.mode)
         for cell in missing:
+            if cell in quarantined:
+                continue
             results[cell] = computed[cell]
             cache.put(fingerprints[cell], {
                 "cell": dataclasses.asdict(cell),
@@ -224,6 +319,8 @@ def run_sweep(cells: Sequence[SweepCell],
         results=results,
         fingerprints=fingerprints,
         cache_hits=len(ordered) - len(missing),
-        evaluated=len(missing),
+        evaluated=len(missing) - len(quarantined),
         elapsed_s=time.perf_counter() - started,
+        quarantined=quarantined,
+        requeued=requeued,
     )

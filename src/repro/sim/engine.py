@@ -43,7 +43,7 @@ __all__ = [
 #: Bump whenever an engine/resource change can alter simulated times —
 #: sweep caches (:mod:`repro.runner`) key their fingerprints on it, so a
 #: bump invalidates every previously cached cell.
-SIM_VERSION = "1"
+SIM_VERSION = "2"
 
 #: Default scheduling priority for events.
 NORMAL = 1

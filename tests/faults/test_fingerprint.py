@@ -1,0 +1,114 @@
+"""Regression: every FaultPlan field is covered by the cache key.
+
+The sweep cache must never serve a result computed under a different
+fault plan, so changing *any* plan field — including nested retry
+parameters and individual fault-event fields — has to produce a
+different cell fingerprint.
+"""
+
+import dataclasses
+
+from repro.core import MeasurementConfig
+from repro.faults import (
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    NicStall,
+    NodeSlowdown,
+    RetryConfig,
+)
+from repro.machines import get_machine_spec
+from repro.runner import cell_fingerprint
+
+#: A plan with every field populated, so each mutation below changes
+#: an *existing* value rather than adding a first entry.
+BASE_PLAN = FaultPlan(
+    name="base",
+    loss_probability=0.01,
+    corruption_probability=0.005,
+    link_outages=(LinkOutage(src=0, dst=1, start_us=10.0,
+                             end_us=20.0),),
+    link_degradations=(LinkDegradation(src=1, dst=2, factor=2.0,
+                                       start_us=5.0),),
+    nic_stalls=(NicStall(node=1, start_us=50.0, duration_us=25.0),),
+    node_slowdowns=(NodeSlowdown(node=2, factor=1.5),),
+    retry=RetryConfig(timeout_us=500.0, backoff=1.5,
+                      max_timeout_us=4000.0, max_retries=4,
+                      ack_bytes=8),
+)
+
+#: One mutated variant per FaultPlan field (and per RetryConfig field,
+#: since the retry protocol changes timings too).
+MUTATIONS = {
+    "name": dataclasses.replace(BASE_PLAN, name="renamed"),
+    "loss_probability": dataclasses.replace(
+        BASE_PLAN, loss_probability=0.02),
+    "corruption_probability": dataclasses.replace(
+        BASE_PLAN, corruption_probability=0.01),
+    "link_outages": dataclasses.replace(
+        BASE_PLAN,
+        link_outages=(LinkOutage(src=0, dst=1, start_us=10.0,
+                                 end_us=21.0),)),
+    "link_degradations": dataclasses.replace(
+        BASE_PLAN,
+        link_degradations=(LinkDegradation(src=1, dst=2, factor=3.0,
+                                           start_us=5.0),)),
+    "nic_stalls": dataclasses.replace(
+        BASE_PLAN,
+        nic_stalls=(NicStall(node=1, start_us=50.0,
+                             duration_us=26.0),)),
+    "node_slowdowns": dataclasses.replace(
+        BASE_PLAN,
+        node_slowdowns=(NodeSlowdown(node=3, factor=1.5),)),
+    "retry.timeout_us": dataclasses.replace(
+        BASE_PLAN, retry=dataclasses.replace(
+            BASE_PLAN.retry, timeout_us=501.0)),
+    "retry.backoff": dataclasses.replace(
+        BASE_PLAN, retry=dataclasses.replace(
+            BASE_PLAN.retry, backoff=1.6)),
+    "retry.max_timeout_us": dataclasses.replace(
+        BASE_PLAN, retry=dataclasses.replace(
+            BASE_PLAN.retry, max_timeout_us=5000.0)),
+    "retry.max_retries": dataclasses.replace(
+        BASE_PLAN, retry=dataclasses.replace(
+            BASE_PLAN.retry, max_retries=5)),
+    "retry.ack_bytes": dataclasses.replace(
+        BASE_PLAN, retry=dataclasses.replace(
+            BASE_PLAN.retry, ack_bytes=16)),
+}
+
+
+def _fingerprint(plan):
+    config = MeasurementConfig(iterations=1, warmup_iterations=0,
+                               runs=1, faults=plan)
+    return cell_fingerprint(get_machine_spec("t3d"), "broadcast",
+                            1024, 4, config)
+
+
+def test_mutations_cover_every_plan_field():
+    mutated = {key.split(".")[0] for key in MUTATIONS}
+    plan_fields = {f.name for f in dataclasses.fields(FaultPlan)}
+    assert mutated == plan_fields
+    retry_mutated = {key.split(".")[1] for key in MUTATIONS
+                     if key.startswith("retry.")}
+    retry_fields = {f.name for f in dataclasses.fields(RetryConfig)}
+    assert retry_mutated == retry_fields
+
+
+def test_any_plan_field_change_alters_the_fingerprint():
+    base = _fingerprint(BASE_PLAN)
+    seen = {base}
+    for name, plan in MUTATIONS.items():
+        key = _fingerprint(plan)
+        assert key != base, f"mutating {name} left the cache key intact"
+        seen.add(key)
+    # All mutations are also distinct from one another.
+    assert len(seen) == len(MUTATIONS) + 1
+
+
+def test_plan_presence_alters_the_fingerprint():
+    config = MeasurementConfig(iterations=1, warmup_iterations=0,
+                               runs=1)
+    spec = get_machine_spec("t3d")
+    without = cell_fingerprint(spec, "broadcast", 1024, 4, config)
+    assert _fingerprint(BASE_PLAN) != without

@@ -1,0 +1,114 @@
+"""Tests for fault-plan declaration, validation, and serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    FAULT_FREE,
+    FAULT_PRESETS,
+    FaultPlan,
+    LinkDegradation,
+    LinkOutage,
+    NicStall,
+    NodeSlowdown,
+    RetryConfig,
+    fault_preset,
+)
+
+
+def test_fault_free_plan_is_fault_free():
+    assert FAULT_FREE.is_fault_free()
+    assert not FAULT_FREE.is_probabilistic
+
+
+def test_every_preset_except_none_injects_something():
+    for name, plan in FAULT_PRESETS.items():
+        assert plan.name == ("fault-free" if name == "none" else name)
+        if name != "none":
+            assert not plan.is_fault_free()
+
+
+def test_fault_preset_lookup_and_unknown():
+    assert fault_preset("lossy") is FAULT_PRESETS["lossy"]
+    with pytest.raises(KeyError, match="unknown fault preset"):
+        fault_preset("bogus")
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan(loss_probability=1.0)
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan(corruption_probability=-0.1)
+    with pytest.raises(ValueError, match="loss \\+ corruption"):
+        FaultPlan(loss_probability=0.6, corruption_probability=0.5)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError, match="empty fault window"):
+        LinkOutage(src=0, dst=1, start_us=5.0, end_us=5.0)
+    with pytest.raises(ValueError, match="starts in the past"):
+        LinkOutage(src=0, dst=1, start_us=-1.0)
+    with pytest.raises(ValueError, match="factor"):
+        LinkDegradation(src=0, dst=1, factor=0.5)
+    with pytest.raises(ValueError, match="factor"):
+        NodeSlowdown(node=0, factor=0.9)
+    with pytest.raises(ValueError, match="duration"):
+        NicStall(node=0, start_us=0.0, duration_us=0.0)
+
+
+def test_outage_window_activity():
+    outage = LinkOutage(src=0, dst=1, start_us=10.0, end_us=20.0)
+    assert not outage.active(9.9)
+    assert outage.active(10.0)
+    assert outage.active(19.9)
+    assert not outage.active(20.0)
+    forever = LinkOutage(src=0, dst=1, start_us=10.0)
+    assert forever.active(1e12)
+
+
+def test_nic_stall_delay():
+    stall = NicStall(node=3, start_us=100.0, duration_us=50.0)
+    assert stall.delay_at(99.0) == 0.0
+    assert stall.delay_at(100.0) == 50.0
+    assert stall.delay_at(130.0) == pytest.approx(20.0)
+    assert stall.delay_at(150.0) == 0.0
+
+
+def test_retry_backoff_is_bounded():
+    retry = RetryConfig(timeout_us=100.0, backoff=2.0,
+                        max_timeout_us=500.0, max_retries=8)
+    assert retry.timeout_for_attempt(0) == 100.0
+    assert retry.timeout_for_attempt(1) == 200.0
+    assert retry.timeout_for_attempt(2) == 400.0
+    assert retry.timeout_for_attempt(3) == 500.0  # capped
+    assert retry.timeout_for_attempt(20) == 500.0
+
+
+def test_retry_validation():
+    with pytest.raises(ValueError, match="timeout_us"):
+        RetryConfig(timeout_us=0.0)
+    with pytest.raises(ValueError, match="backoff"):
+        RetryConfig(backoff=0.5)
+    with pytest.raises(ValueError, match="max_timeout_us"):
+        RetryConfig(timeout_us=100.0, max_timeout_us=50.0)
+    with pytest.raises(ValueError, match="max_retries"):
+        RetryConfig(max_retries=-1)
+
+
+def test_round_trip_through_dict():
+    for plan in FAULT_PRESETS.values():
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = FAULT_FREE.to_dict()
+    data["typo_field"] = 1
+    with pytest.raises(ValueError, match="unknown fault-plan fields"):
+        FaultPlan.from_dict(data)
+
+
+def test_lists_coerced_to_tuples():
+    plan = FaultPlan(link_outages=[LinkOutage(src=0, dst=1)])
+    assert isinstance(plan.link_outages, tuple)
+    hash(plan)  # hashable, so it can live in a frozen config

@@ -1,0 +1,88 @@
+"""Error-path coverage: receive-buffer truncation and root/rank
+validation across every collective."""
+
+import pytest
+
+from repro.mpi import MpiError, MpiWorld, RankError, TruncationError
+from repro.mpi.context import COLLECTIVE_OPS
+
+
+def test_oversized_message_raises_truncation_error():
+    world = MpiWorld("sp2", 2, seed=0)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 1024)
+        else:
+            yield from ctx.recv(0, expected_nbytes=512)
+
+    with pytest.raises(MpiError, match="rank 1 failed") as excinfo:
+        world.run(program)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, TruncationError)
+    assert (cause.expected_nbytes, cause.actual_nbytes) == (512, 1024)
+    assert (cause.src, cause.dst) == (0, 1)
+
+
+def test_exact_fit_passes_the_truncation_check():
+    world = MpiWorld("sp2", 2, seed=0)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 1024)
+            return None
+        envelope = yield from ctx.recv(0, expected_nbytes=1024)
+        return envelope.nbytes
+
+    assert world.run(program)[1] == 1024
+
+
+def test_truncation_check_on_nonblocking_wait():
+    world = MpiWorld("t3d", 2, seed=0)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, 256)
+        else:
+            receive = ctx.irecv(0)
+            yield from ctx.wait(receive, expected_nbytes=128)
+
+    with pytest.raises(MpiError) as excinfo:
+        world.run(program)
+    assert isinstance(excinfo.value.__cause__, TruncationError)
+
+
+@pytest.mark.parametrize("op", COLLECTIVE_OPS)
+def test_out_of_range_root_raises_rank_error(op):
+    world = MpiWorld("t3d", 4, seed=0)
+
+    def program(ctx):
+        yield from ctx.collective(op, 8, root=ctx.size)
+
+    with pytest.raises(MpiError) as excinfo:
+        world.run(program)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, RankError)
+    assert "4" in str(cause)
+
+
+@pytest.mark.parametrize("op", COLLECTIVE_OPS)
+def test_negative_root_raises_rank_error(op):
+    world = MpiWorld("t3d", 4, seed=0)
+
+    def program(ctx):
+        yield from ctx.collective(op, 8, root=-1)
+
+    with pytest.raises(MpiError) as excinfo:
+        world.run(program)
+    assert isinstance(excinfo.value.__cause__, RankError)
+
+
+def test_unknown_collective_rejected():
+    world = MpiWorld("t3d", 2, seed=0)
+
+    def program(ctx):
+        yield from ctx.collective("bogus", 8)
+
+    with pytest.raises(MpiError, match="rank 0 failed"):
+        world.run(program)

@@ -1,5 +1,9 @@
 """Tests for the on-disk content-addressed result cache."""
 
+import json
+
+import pytest
+
 from repro.runner import CacheStats, ResultCache, default_cache_dir
 
 KEY = "ab" + "0" * 62
@@ -27,8 +31,48 @@ def test_corrupt_entry_degrades_to_miss(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(KEY, {"result": {}})
     cache.path_for(KEY).write_text("{truncated", "utf-8")
-    assert cache.get(KEY) is None
+    with pytest.warns(UserWarning, match="unparseable JSON"):
+        assert cache.get(KEY) is None
     assert cache.stats.misses == 1
+    assert cache.stats.corrupt == 1
+
+
+def test_checksum_mismatch_degrades_to_miss_with_warning(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {"time_us": 1.0}})
+    path = cache.path_for(KEY)
+    envelope = json.loads(path.read_text("utf-8"))
+    envelope["payload"]["result"]["time_us"] = 99.0  # bit rot
+    path.write_text(json.dumps(envelope), "utf-8")
+    with pytest.warns(UserWarning, match="checksum mismatch"):
+        assert cache.get(KEY) is None
+    assert cache.stats.corrupt == 1
+    # Recomputing and re-putting repairs the entry.
+    cache.put(KEY, {"result": {"time_us": 1.0}})
+    assert cache.get(KEY) == {"result": {"time_us": 1.0}}
+
+
+def test_malformed_envelope_degrades_to_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {}})
+    cache.path_for(KEY).write_text(json.dumps([1, 2, 3]), "utf-8")
+    with pytest.warns(UserWarning, match="malformed envelope"):
+        assert cache.get(KEY) is None
+    # Legacy entries without the checksum envelope are also rejected
+    # (and recomputed) rather than trusted.
+    cache.path_for(KEY).write_text(json.dumps({"result": {}}), "utf-8")
+    with pytest.warns(UserWarning, match="malformed envelope"):
+        assert cache.get(KEY) is None
+    assert cache.stats.corrupt == 2
+
+
+def test_writes_are_atomic_and_leave_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"result": {"time_us": 2.5}})
+    directory = cache.path_for(KEY).parent
+    assert [p.name for p in directory.iterdir()] == [f"{KEY}.json"]
+    envelope = json.loads(cache.path_for(KEY).read_text("utf-8"))
+    assert set(envelope) == {"schema", "checksum", "payload"}
 
 
 def test_disabled_cache_never_touches_disk(tmp_path):
@@ -60,3 +104,8 @@ def test_default_cache_dir_honours_env_override(monkeypatch, tmp_path):
 def test_stats_format():
     stats = CacheStats(hits=3, misses=1, writes=1)
     assert stats.format() == "3 hits, 1 misses, 1 writes"
+
+
+def test_stats_format_mentions_corruption_only_when_present():
+    stats = CacheStats(hits=3, misses=2, writes=1, corrupt=2)
+    assert stats.format() == "3 hits, 2 misses, 1 writes, 2 corrupt"

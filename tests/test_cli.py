@@ -133,6 +133,75 @@ def test_sweep_command_unknown_grid(capsys):
     assert "known presets" in capsys.readouterr().err
 
 
+def test_sweep_machine_and_op_filters(capsys, tmp_path):
+    import json
+    out = tmp_path / "filtered.json"
+    assert main(["sweep", "--grid", "smoke", "--machines", "t3d",
+                 "--ops", "broadcast", "--no-cache",
+                 "--iterations", "1", "--runs", "1",
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert {c["machine"] for c in payload["cells"]} == {"t3d"}
+    assert {c["op"] for c in payload["cells"]} == {"broadcast"}
+
+
+def test_sweep_rejects_filters_that_empty_the_grid(capsys):
+    assert main(["sweep", "--grid", "smoke", "--machines", "paragon",
+                 "--no-cache"]) == 2
+    assert "not in grid" in capsys.readouterr().err
+    assert main(["sweep", "--grid", "smoke", "--ops", "alltoall",
+                 "--no-cache"]) == 2
+    assert "not in grid" in capsys.readouterr().err
+
+
+def test_sweep_rejects_invalid_workers_and_timeout(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--workers", "0"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--cell-timeout", "0"])
+
+
+def test_sweep_with_fault_preset_changes_fingerprints(capsys,
+                                                      tmp_path):
+    import json
+    clean = tmp_path / "clean.json"
+    faulty = tmp_path / "faulty.json"
+    base = ["sweep", "--grid", "smoke", "--machines", "t3d",
+            "--ops", "broadcast", "--no-cache",
+            "--iterations", "1", "--runs", "1"]
+    assert main(base + ["--out", str(clean)]) == 0
+    assert main(base + ["--faults", "flaky-link",
+                        "--out", str(faulty)]) == 0
+    clean_doc = json.loads(clean.read_text())
+    faulty_doc = json.loads(faulty.read_text())
+    assert clean_doc["config"]["faults"] is None
+    assert faulty_doc["config"]["faults"]["name"] == "flaky-link"
+    assert {c["fingerprint"] for c in clean_doc["cells"]}.isdisjoint(
+        c["fingerprint"] for c in faulty_doc["cells"])
+
+
+def test_sweep_unknown_fault_preset(capsys):
+    assert main(["sweep", "--grid", "smoke", "--faults", "gremlins",
+                 "--no-cache"]) == 2
+    assert "known presets" in capsys.readouterr().err
+
+
+def test_chaos_command_reports_counters(capsys):
+    code = main(["chaos", "t3d", "broadcast", "--bytes", "65536",
+                 "--nodes", "16"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "plan 'single-link-outage'" in out
+    assert "clean:" in out and "faulty:" in out
+    assert "reroutes=" in out
+
+
+def test_chaos_command_unknown_preset(capsys):
+    assert main(["chaos", "t3d", "broadcast", "--faults",
+                 "gremlins"]) == 2
+    assert "known presets" in capsys.readouterr().err
+
+
 def test_diff_command_clean_and_dirty(capsys, tmp_path):
     import json
     first = tmp_path / "a.json"
