@@ -8,8 +8,8 @@ from .compare import (
     winner,
 )
 from .asciiplot import ascii_plot, plot_figure
-from .degradation import chaos_report, degradation_curves, \
-    fault_counters
+from .degradation import ChaosRun, chaos_report, degradation_curves, \
+    fault_counters, run_chaos
 from .diagnostics import RunDiagnostics, collect_diagnostics
 from .export import (
     figure_to_rows,
@@ -36,6 +36,7 @@ from .workload import (
 )
 
 __all__ = [
+    "ChaosRun",
     "FIGURE_OPS",
     "FigureData",
     "HeadlineCheck",
@@ -72,6 +73,7 @@ __all__ = [
     "machine_sizes_for",
     "monotonically_increasing",
     "ranking",
+    "run_chaos",
     "table3",
     "values_match",
     "winner",

@@ -4,15 +4,18 @@
 measurement under a :class:`~repro.faults.FaultPlan` and pairs every
 faulty curve with its clean baseline, so the latency penalty of
 rerouting and retransmission is visible point by point.
-``chaos_report`` runs one collective under a plan and reports what the
+``run_chaos`` runs one collective under a plan and reports what the
 injector actually did (reroutes, retransmits, lost messages, aborted
-transfers) next to the clean/faulty elapsed times.
+transfers) next to the clean/faulty elapsed times, optionally keeping
+the faulty run's full :class:`~repro.obs.MetricsRegistry` snapshot for
+JSON export; ``chaos_report`` is its one-string rendering.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from ..core import QUICK_CONFIG, MeasurementConfig, \
     measure_startup_latency
@@ -22,7 +25,8 @@ from ..mpi import MpiWorld
 from .figures import FigureData
 from .workload import bench_machine_sizes
 
-__all__ = ["degradation_curves", "chaos_report", "fault_counters"]
+__all__ = ["ChaosRun", "degradation_curves", "chaos_report",
+           "fault_counters", "run_chaos"]
 
 #: Injector counters surfaced by :func:`fault_counters`, in report
 #: order.
@@ -72,35 +76,84 @@ def fault_counters(world: MpiWorld) -> dict:
     return {name: getattr(injector, name) for name in COUNTER_NAMES}
 
 
-def chaos_report(machine: str, op: str, plan: FaultPlan,
-                 nbytes: int = 4096, num_nodes: int = 16,
-                 iterations: int = 1, seed: int = 0) -> str:
-    """Run ``op`` once clean and once under ``plan``; report both.
+@dataclass
+class ChaosRun:
+    """Clean-vs-faulty comparison of one collective under a plan."""
 
-    The report shows the elapsed times, the latency penalty, and every
-    nonzero injector counter — a one-screen answer to "what did this
-    fault plan actually do to the collective?".
+    machine: str
+    op: str
+    plan: FaultPlan
+    nbytes: int
+    num_nodes: int
+    iterations: int
+    seed: int
+    clean_us: float
+    faulty_us: float
+    counters: Dict[str, int]
+    #: Full metrics snapshot of the faulty run (``run_chaos`` with
+    #: ``metrics=True``; empty otherwise).
+    metrics_snapshot: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def penalty_us(self) -> float:
+        return self.faulty_us - self.clean_us
+
+    @property
+    def penalty_fraction(self) -> float:
+        return self.penalty_us / self.clean_us if self.clean_us else 0.0
+
+    def format(self) -> str:
+        """The one-screen ``repro-bench chaos`` report."""
+        lines = [
+            f"chaos {self.machine} {self.op} ({self.nbytes} B, "
+            f"{self.num_nodes} nodes, plan {self.plan.name!r}, "
+            f"seed {self.seed})",
+            f"  clean:  {format_us(self.clean_us)}",
+            f"  faulty: {format_us(self.faulty_us)} "
+            f"({self.penalty_us:+.1f} us, {self.penalty_fraction:+.1%})",
+        ]
+        shown = {name: count for name, count in self.counters.items()
+                 if count}
+        if shown:
+            lines.append("  injector: " + ", ".join(
+                f"{name}={count}" for name, count in shown.items()))
+        else:
+            lines.append("  injector: no faults fired")
+        return "\n".join(lines)
+
+
+def run_chaos(machine: str, op: str, plan: FaultPlan,
+              nbytes: int = 4096, num_nodes: int = 16,
+              iterations: int = 1, seed: int = 0,
+              metrics: bool = False) -> ChaosRun:
+    """Run ``op`` once clean and once under ``plan``.
+
+    ``metrics=True`` switches the faulty run's metrics registry on and
+    keeps its full snapshot in the result (the clean run stays
+    unmetered: the snapshot answers "what did the faults do?", and the
+    registry is off by default on the hot path).
     """
     clean_world = MpiWorld(machine, num_nodes, seed=seed)
     clean_us = clean_world.run_collective(op, nbytes,
                                           iterations=iterations)
-    fault_world = MpiWorld(machine, num_nodes, seed=seed, faults=plan)
+    fault_world = MpiWorld(machine, num_nodes, seed=seed, faults=plan,
+                           metrics=metrics)
     faulty_us = fault_world.run_collective(op, nbytes,
                                            iterations=iterations)
-    penalty = faulty_us - clean_us
-    rel = penalty / clean_us if clean_us else 0.0
-    lines = [
-        f"chaos {machine} {op} ({nbytes} B, {num_nodes} nodes, "
-        f"plan {plan.name!r}, seed {seed})",
-        f"  clean:  {format_us(clean_us)}",
-        f"  faulty: {format_us(faulty_us)} "
-        f"({penalty:+.1f} us, {rel:+.1%})",
-    ]
-    counters = fault_counters(fault_world)
-    shown = {name: count for name, count in counters.items() if count}
-    if shown:
-        lines.append("  injector: " + ", ".join(
-            f"{name}={count}" for name, count in shown.items()))
-    else:
-        lines.append("  injector: no faults fired")
-    return "\n".join(lines)
+    snapshot = fault_world.machine.metrics.snapshot() if metrics else {}
+    return ChaosRun(
+        machine=machine, op=op, plan=plan, nbytes=nbytes,
+        num_nodes=num_nodes, iterations=iterations, seed=seed,
+        clean_us=clean_us, faulty_us=faulty_us,
+        counters=fault_counters(fault_world),
+        metrics_snapshot=snapshot)
+
+
+def chaos_report(machine: str, op: str, plan: FaultPlan,
+                 nbytes: int = 4096, num_nodes: int = 16,
+                 iterations: int = 1, seed: int = 0) -> str:
+    """One-string rendering of :func:`run_chaos` — the elapsed times,
+    the latency penalty, and every nonzero injector counter."""
+    return run_chaos(machine, op, plan, nbytes=nbytes,
+                     num_nodes=num_nodes, iterations=iterations,
+                     seed=seed).format()

@@ -13,6 +13,10 @@ Examples::
     repro-bench sweep --grid fig3 --workers 8 --out BENCH_sweep.json
     repro-bench sweep --grid smoke --faults lossy --cell-timeout 120
     repro-bench chaos t3d broadcast --nodes 64
+    repro-bench critpath t3d broadcast --nodes 64 --bytes 1048576 \\
+        --faults midflight-outage
+    repro-bench audit tests/golden/BENCH_sweep_baseline.json \\
+        --out BENCH_drift.json
     repro-bench diff tests/golden/BENCH_sweep_baseline.json \\
         BENCH_sweep.json
 """
@@ -179,14 +183,20 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(comma-separated)")
     sweep.add_argument("--faults", metavar="PRESET",
                        help="inject a fault-plan preset into every "
-                            "cell (single-link-outage, flaky-link, "
-                            "lossy, slow-node, chaos); changes every "
-                            "cache fingerprint")
+                            "cell (single-link-outage, "
+                            "midflight-outage, flaky-link, lossy, "
+                            "slow-node, chaos); changes every cache "
+                            "fingerprint")
     sweep.add_argument("--cell-timeout", type=_positive_float,
                        metavar="SECONDS",
                        help="per-cell wall-clock budget; shards that "
                             "blow it are requeued cell by cell and a "
                             "cell that fails alone is quarantined")
+    sweep.add_argument("--breakdown", action="store_true",
+                       help="attach a critical-path component "
+                            "breakdown (software/wire/contention/"
+                            "fault-recovery) to every cell; sim mode "
+                            "only, changes every cache fingerprint")
 
     chaos = sub.add_parser(
         "chaos",
@@ -205,6 +215,49 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--curves", action="store_true",
                        help="also print clean vs faulty T0(p) curves "
                             "over the bench node counts")
+    chaos.add_argument("--out", metavar="PATH",
+                       help="also dump the injector counters and the "
+                            "faulty run's full metrics snapshot as "
+                            "JSON")
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="trace one collective and print its causal critical "
+             "path with per-component time attribution")
+    critpath.add_argument("machine", choices=["sp2", "t3d", "paragon"])
+    critpath.add_argument("op")
+    critpath.add_argument("--bytes", type=int, default=4096)
+    critpath.add_argument("--nodes", type=int, default=16)
+    critpath.add_argument("--iterations", type=_positive_int, default=1)
+    critpath.add_argument("--seed", type=int, default=0)
+    critpath.add_argument("--faults", metavar="PRESET",
+                          help="run under a fault-plan preset so "
+                               "recovery work (retransmits, backoff, "
+                               "detours) appears in the attribution")
+    critpath.add_argument("--steps", type=_positive_int, default=None,
+                          metavar="N",
+                          help="print only the first N chain steps")
+    critpath.add_argument("--csv", metavar="PATH",
+                          help="also write the chain (plus totals) "
+                               "as CSV")
+
+    audit = sub.add_parser(
+        "audit",
+        help="compare a sweep artifact's cells against the paper's "
+             "Table 3 closed forms; exits non-zero on tolerance "
+             "breach")
+    audit.add_argument("artifact", nargs="?",
+                       default="BENCH_sweep.json",
+                       help="sweep artifact to audit (default "
+                            "BENCH_sweep.json)")
+    audit.add_argument("--rtol", type=_positive_float, default=0.25,
+                       help="max |relative error| per cell "
+                            "(default 0.25)")
+    audit.add_argument("--out", metavar="PATH",
+                       help="also write the byte-stable drift trend "
+                            "artifact (BENCH_drift.json)")
+    audit.add_argument("--top", type=_positive_int, default=5,
+                       help="worst cells / breaches to list")
 
     diff = sub.add_parser(
         "diff",
@@ -292,11 +345,16 @@ def _run_sweep_command(args) -> int:
         iterations=args.iterations,
         warmup_iterations=QUICK_CONFIG.warmup_iterations,
         runs=args.runs, seed=args.seed, faults=faults)
+    if args.breakdown and args.mode != "sim":
+        print("--breakdown requires --mode sim (closed forms have no "
+              "trace to analyse)", file=sys.stderr)
+        return 2
     config = SweepConfig(mode=args.mode, workers=args.workers,
                          measurement=measurement,
                          cache_dir=args.cache_dir,
                          use_cache=not args.no_cache,
-                         cell_timeout_s=args.cell_timeout)
+                         cell_timeout_s=args.cell_timeout,
+                         breakdown=args.breakdown)
     cache = ResultCache(args.cache_dir) if args.cache_dir \
         else ResultCache()
     cache.enabled = config.use_cache
@@ -315,20 +373,87 @@ def _run_sweep_command(args) -> int:
 
 
 def _run_chaos_command(args) -> int:
-    from .bench import chaos_report, degradation_curves
+    import json
+
+    from .bench import degradation_curves, run_chaos
     from .faults import fault_preset
     try:
         plan = fault_preset(args.faults)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
-    print(chaos_report(args.machine, args.op, plan,
-                       nbytes=args.bytes, num_nodes=args.nodes,
-                       iterations=args.iterations, seed=args.seed))
+    run = run_chaos(args.machine, args.op, plan,
+                    nbytes=args.bytes, num_nodes=args.nodes,
+                    iterations=args.iterations, seed=args.seed,
+                    metrics=args.out is not None)
+    print(run.format())
+    if args.out:
+        document = {
+            "machine": run.machine,
+            "op": run.op,
+            "plan": plan.name,
+            "nbytes": run.nbytes,
+            "nodes": run.num_nodes,
+            "iterations": run.iterations,
+            "seed": run.seed,
+            "clean_us": run.clean_us,
+            "faulty_us": run.faulty_us,
+            "penalty_us": run.penalty_us,
+            "counters": run.counters,
+            "metrics": run.metrics_snapshot,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
     if args.curves:
         print()
         print(degradation_curves(args.machine, args.op, plan).format())
     return 0
+
+
+def _run_critpath_command(args) -> int:
+    from .obs.capture import capture_collective
+    from .obs.critpath import write_critpath_csv
+    faults = None
+    if args.faults and args.faults != "none":
+        from .faults import fault_preset
+        try:
+            faults = fault_preset(args.faults)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+    capture = capture_collective(
+        args.machine, args.op, nbytes=args.bytes,
+        num_nodes=args.nodes, iterations=args.iterations,
+        seed=args.seed, metrics=False, faults=faults)
+    path = capture.critical_path()
+    print(path.format(top=args.steps))
+    if args.csv:
+        print(f"wrote {write_critpath_csv(path, args.csv)}")
+    return 0
+
+
+def _run_audit_command(args) -> int:
+    from .obs.drift import (
+        DriftTolerance,
+        audit_artifact,
+        build_drift_artifact,
+        write_drift_artifact,
+    )
+    from .runner import load_artifact
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    report = audit_artifact(artifact,
+                            DriftTolerance(max_rel_error=args.rtol))
+    print(report.format(top=args.top))
+    if args.out:
+        payload = build_drift_artifact(report, worst=args.top)
+        print(f"wrote {write_drift_artifact(payload, args.out)}")
+    return 0 if report.passed() else 1
 
 
 def _run_diff_command(args) -> int:
@@ -429,6 +554,10 @@ def _dispatch(args) -> int:
         return _run_sweep_command(args)
     elif args.command == "chaos":
         return _run_chaos_command(args)
+    elif args.command == "critpath":
+        return _run_critpath_command(args)
+    elif args.command == "audit":
+        return _run_audit_command(args)
     elif args.command == "diff":
         return _run_diff_command(args)
     return 0

@@ -275,6 +275,12 @@ FAULT_PRESETS: Dict[str, FaultPlan] = {
     "slow-node": FaultPlan(
         name="slow-node",
         node_slowdowns=(NodeSlowdown(node=1, factor=2.0),)),
+    # The chaos_broadcast scenario: a link dies while a large broadcast
+    # is in flight, so transfers already holding it abort and recover
+    # (retransmit + detour) rather than just routing around from t=0.
+    "midflight-outage": FaultPlan(
+        name="midflight-outage",
+        link_outages=(LinkOutage(src=0, dst=1, start_us=23000.0),)),
     "chaos": FaultPlan(
         name="chaos",
         loss_probability=0.01,

@@ -229,10 +229,30 @@ class Transport:
                 if wire_us + ack_us > rto:
                     injector.record_spurious_retransmit()
                 return
-            # Failed attempt: no ack will come, so the sender sits out
-            # the rest of the RTO before trying again.
+            # Failed attempt: the fate is only known now, so the
+            # recovery span is opened retroactively over the wasted
+            # wire time (the tracer accepts past start times).
+            tracer = self.machine.tracer
+            if tracer.enabled:
+                reason = "aborted" if aborted else fate
+                doomed = tracer.begin(started, f"retransmit {src}->{dst}",
+                                      "retransmit", node=src, parent=span,
+                                      dst=dst, attempt=attempt,
+                                      reason=reason)
+                tracer.end(doomed, self.env.now)
+            # No ack will come, so the sender sits out the rest of the
+            # RTO before trying again.
             if rto > wire_us:
-                yield self.env.timeout(rto - wire_us)
+                if tracer.enabled:
+                    sitout = tracer.begin(self.env.now,
+                                          f"backoff {src}->{dst}",
+                                          "backoff", node=src, parent=span,
+                                          dst=dst, attempt=attempt,
+                                          rto_us=rto)
+                    yield self.env.timeout(rto - wire_us)
+                    tracer.end(sitout, self.env.now)
+                else:
+                    yield self.env.timeout(rto - wire_us)
             if attempt + 1 < attempts:
                 injector.record_retransmit()
         raise DeliveryError(src, dst, tag, attempts)

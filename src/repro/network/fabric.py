@@ -81,23 +81,25 @@ class NetworkFabric:
         return hops * self.params.hop_latency_us + \
             nbytes * self.params.us_per_byte
 
-    def _select_route(self, src: int, dst: int) -> List[LinkId]:
+    def _select_route(self, src: int, dst: int
+                      ) -> Tuple[List[LinkId], bool]:
         """The route a transfer issued now takes, detouring around any
-        dead links.  Raises :class:`TransferAborted` when the live
-        links no longer connect the pair."""
+        dead links, plus whether it is a detour.  Raises
+        :class:`TransferAborted` when the live links no longer connect
+        the pair."""
         injector = self.injector
         if injector is None:
-            return self.topology.route(src, dst)
+            return self.topology.route(src, dst), False
         dead = injector.dead_links(self.env.now)
         route = self.topology.route(src, dst)
         if not dead or not any(link in dead for link in route):
-            return route
+            return route, False
         detour = self.topology.reroute(src, dst, dead)
         if detour is None:
             injector.record_unroutable()
             raise TransferAborted(src, dst, "no live route")
         injector.record_reroute()
-        return detour
+        return detour, True
 
     def transfer(self, src: int, dst: int, nbytes: int,
                  parent_span: Optional[Span] = None
@@ -118,9 +120,18 @@ class NetworkFabric:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         injector = self.injector
-        route = self._select_route(src, dst)
+        route, detoured = self._select_route(src, dst)
         if not route:
             return
+        # A detour is fault-recovery work: wrap its link occupancy in a
+        # dedicated span so the extra hops are attributable.
+        detour_span: Optional[Span] = None
+        if detoured and self.tracer.enabled:
+            detour_span = self.tracer.begin(
+                self.env.now, f"reroute {src}->{dst}", "reroute",
+                node=src, parent=parent_span, dst=dst, nbytes=nbytes,
+                hops=len(route))
+            parent_span = detour_span
         factor = 1.0 if injector is None else \
             injector.route_degrade_factor(route, self.env.now)
         hold = len(route) * self.params.hop_latency_us + \
@@ -140,6 +151,8 @@ class NetworkFabric:
                                   f"interrupted: {interrupt.cause}")
         finally:
             injector.end_transfer(process)
+            if detour_span is not None:
+                self.tracer.end(detour_span, self.env.now)
 
     def _occupy(self, route: List[LinkId], nbytes: int, hold: float,
                 src: int, dst: int, parent_span: Optional[Span]

@@ -11,12 +11,22 @@ gauges/histograms from the network, node, and MPI layers, and an
 Import note: the runtime layers (``network``, ``node``, ``mpi``)
 import the leaf modules here, so this ``__init__`` must only pull in
 modules with no ``repro`` dependencies beyond :mod:`repro.sim`.  The
-high-level :mod:`repro.obs.capture` helper is deliberately *not*
-re-exported; import it explicitly::
+high-level :mod:`repro.obs.capture` helper and the
+:mod:`repro.obs.drift` auditor (which needs the model layer) are
+deliberately *not* re-exported; import them explicitly::
 
     from repro.obs.capture import capture_collective
+    from repro.obs.drift import audit_artifact
 """
 
+from .critpath import (
+    COMPONENTS,
+    CriticalPath,
+    PathStep,
+    critical_path,
+    critpath_rows,
+    write_critpath_csv,
+)
 from .export import (
     chrome_trace_document,
     chrome_trace_events,
@@ -30,17 +40,23 @@ from .report import format_utilization_report, link_stats
 from .spans import CollectiveObserver
 
 __all__ = [
+    "COMPONENTS",
     "CollectiveObserver",
     "Counter",
+    "CriticalPath",
     "EngineProfiler",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PathStep",
     "chrome_trace_document",
     "chrome_trace_events",
+    "critical_path",
+    "critpath_rows",
     "format_utilization_report",
     "link_stats",
     "spans_to_rows",
     "write_chrome_trace",
+    "write_critpath_csv",
     "write_spans_csv",
 ]

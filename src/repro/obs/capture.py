@@ -36,6 +36,13 @@ class CollectiveCapture:
     metrics: MetricsRegistry
     profiler: Optional[EngineProfiler]
 
+    def critical_path(self):
+        """Causal critical path of the captured run (the longest
+        collective span when ``iterations > 1``)."""
+        from .critpath import critical_path
+
+        return critical_path(self.tracer)
+
     def summary(self) -> str:
         """One-paragraph text summary of what was captured."""
         spans = self.tracer.spans()
@@ -63,14 +70,19 @@ def capture_collective(machine: str, op: str, nbytes: int = 1024,
                        contention: bool = True, trace: bool = True,
                        metrics: bool = True, profile: bool = False,
                        max_records: Optional[int] = None,
-                       max_spans: Optional[int] = None
-                       ) -> CollectiveCapture:
-    """Run ``iterations`` of one collective with full observability."""
+                       max_spans: Optional[int] = None,
+                       faults=None) -> CollectiveCapture:
+    """Run ``iterations`` of one collective with full observability.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) runs the capture
+    under fault injection, so the trace carries the
+    ``retransmit``/``backoff``/``reroute`` recovery spans.
+    """
     from ..mpi import MpiWorld
 
     world = MpiWorld(machine, num_nodes, seed=seed,
                      contention=contention, trace=trace,
-                     metrics=metrics)
+                     metrics=metrics, faults=faults)
     if max_records is not None or max_spans is not None:
         world.tracer.configure_limits(max_records=max_records,
                                       max_spans=max_spans)

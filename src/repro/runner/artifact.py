@@ -56,6 +56,10 @@ def build_artifact(result: SweepResult, grid_name: str,
         "config": to_jsonable(config.cell_config()),
         "cells": cells,
     }
+    if config.breakdown:
+        # Only present on breakdown sweeps, so plain artifacts stay
+        # byte-identical to the pre-breakdown format.
+        payload["breakdown"] = True
     if result.quarantined:
         # Only present when something failed, so clean runs stay
         # byte-identical to pre-quarantine artifacts.
@@ -154,7 +158,7 @@ def diff_artifacts(baseline: Dict[str, object],
     noise (e.g. across libm versions).
     """
     diff = ArtifactDiff(rtol=rtol, atol=atol)
-    for name in ("grid", "mode", "sim_version", "config"):
+    for name in ("grid", "mode", "sim_version", "config", "breakdown"):
         if baseline.get(name) != current.get(name):
             diff.metadata.append(
                 f"{name} ({baseline.get(name)!r} -> "

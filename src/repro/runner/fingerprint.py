@@ -72,13 +72,16 @@ def spec_fingerprint(spec: MachineSpec) -> str:
 
 def cell_fingerprint(spec: MachineSpec, op: str, nbytes: int, p: int,
                      config: Optional[MeasurementConfig] = None,
-                     mode: str = "sim") -> str:
+                     mode: str = "sim",
+                     breakdown: bool = False) -> str:
     """Cache key for one (machine, op, m, p) sweep cell.
 
     ``config`` is the measurement protocol (``None`` for the analytic
     and paper-model modes, which take no protocol knobs); ``mode``
     distinguishes simulated from closed-form results for otherwise
-    identical cells.
+    identical cells; ``breakdown`` marks cells that also carry a
+    critical-path component breakdown (the key gains the marker only
+    when set, so existing plain-cell cache entries stay valid).
     """
     payload = {
         "sim_version": SIM_VERSION,
@@ -90,4 +93,6 @@ def cell_fingerprint(spec: MachineSpec, op: str, nbytes: int, p: int,
         "p": int(p),
         "config": to_jsonable(config) if config is not None else None,
     }
+    if breakdown:
+        payload["breakdown"] = True
     return _digest("sweep-cell:" + canonical_json(payload))

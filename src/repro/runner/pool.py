@@ -63,6 +63,10 @@ class SweepConfig:
     #: ``None`` disables the watchdog (a crashed worker then hangs the
     #: sweep, as a plain pool would).
     cell_timeout_s: Optional[float] = None
+    #: Attach a per-cell critical-path component breakdown (software /
+    #: wire / contention / fault-recovery) to every result.  Requires a
+    #: traced run per cell, so it is ``sim``-mode only and opt-in.
+    breakdown: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in SWEEP_MODES:
@@ -73,6 +77,9 @@ class SweepConfig:
         if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
             raise ValueError(f"cell_timeout_s must be > 0, got "
                              f"{self.cell_timeout_s}")
+        if self.breakdown and self.mode != "sim":
+            raise ValueError("breakdown requires mode='sim' (closed "
+                             "forms have no trace to analyse)")
 
     def cell_config(self) -> Optional[MeasurementConfig]:
         """The protocol that keys cache entries (``None`` off the
@@ -104,19 +111,42 @@ class SweepResult:
         return text
 
 
+def _cell_breakdown(cell: SweepCell,
+                    config: MeasurementConfig) -> Dict[str, object]:
+    """One traced run's critical-path components for a sweep cell."""
+    from ..obs.capture import capture_collective
+
+    capture = capture_collective(
+        cell.machine, cell.op, nbytes=cell.nbytes, num_nodes=cell.p,
+        iterations=1, seed=config.seed, contention=config.contention,
+        metrics=False, faults=config.faults)
+    path = capture.critical_path()
+    return {
+        "components": {name: float(f"{value:.9g}")
+                       for name, value in path.components.items()},
+        "total_us": float(f"{path.total_us:.9g}"),
+        "steps": len(path.steps),
+    }
+
+
 def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
-                  mode: str = "sim") -> Dict[str, float]:
+                  mode: str = "sim",
+                  breakdown: bool = False) -> Dict[str, float]:
     """Evaluate one cell from scratch (no cache involved)."""
     if mode == "sim":
         sample = measure_collective(cell.machine, cell.op, cell.nbytes,
                                     cell.p, config or QUICK_CONFIG)
-        return {
+        result = {
             "time_us": sample.time_us,
             "run_times_us": list(sample.run_times_us),
             "process_min_us": sample.process_min_us,
             "process_mean_us": sample.process_mean_us,
             "process_max_us": sample.process_max_us,
         }
+        if breakdown:
+            result["breakdown"] = _cell_breakdown(
+                cell, config or QUICK_CONFIG)
+        return result
     if mode == "analytic":
         spec = get_machine_spec(cell.machine)
         model = AnalyticModel(spec)
@@ -147,7 +177,7 @@ def _rebuild_config(config_kwargs: Dict[str, object]
 
 
 def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
-                                Dict[str, object], str]
+                                Dict[str, object], str, bool]
                     ) -> List[Tuple[Tuple[str, str, int, int],
                                     Dict[str, float]]]:
     """Worker entry point: evaluate one shard of cells.
@@ -155,19 +185,21 @@ def _evaluate_shard(task: Tuple[Tuple[Tuple[str, str, int, int], ...],
     Takes/returns plain tuples and dicts so the payload pickles under
     any multiprocessing start method.
     """
-    cell_tuples, config_kwargs, mode = task
+    cell_tuples, config_kwargs, mode, breakdown = task
     config = _rebuild_config(config_kwargs)
     out = []
     for cell_tuple in cell_tuples:
         cell = SweepCell(*cell_tuple)
-        out.append((cell_tuple, evaluate_cell(cell, config, mode)))
+        out.append((cell_tuple,
+                    evaluate_cell(cell, config, mode, breakdown)))
     return out
 
 
 def _shard_task(shard: Sequence[SweepCell],
-                config_kwargs: Dict[str, object], mode: str):
+                config_kwargs: Dict[str, object], mode: str,
+                breakdown: bool):
     return (tuple(dataclasses.astuple(cell) for cell in shard),
-            config_kwargs, mode)
+            config_kwargs, mode, breakdown)
 
 
 def _evaluate_parallel(cells: Sequence[SweepCell],
@@ -197,7 +229,8 @@ def _evaluate_parallel(cells: Sequence[SweepCell],
         cell_config = _rebuild_config(config_kwargs)
         for cell in cells:
             try:
-                results[cell] = evaluate_cell(cell, cell_config, mode)
+                results[cell] = evaluate_cell(cell, cell_config, mode,
+                                              config.breakdown)
             except Exception as exc:
                 quarantined[cell] = repr(exc)
         return results, quarantined, requeued
@@ -208,7 +241,8 @@ def _evaluate_parallel(cells: Sequence[SweepCell],
             handles = [
                 (shard, pool.apply_async(
                     _evaluate_shard,
-                    (_shard_task(shard, config_kwargs, mode),)))
+                    (_shard_task(shard, config_kwargs, mode,
+                                 config.breakdown),)))
                 for shard in batch
             ]
             for shard, handle in handles:
@@ -282,7 +316,7 @@ def run_sweep(cells: Sequence[SweepCell],
     fingerprints = {
         cell: cell_fingerprint(specs[cell.machine], cell.op,
                                cell.nbytes, cell.p, cell_config,
-                               config.mode)
+                               config.mode, config.breakdown)
         for cell in ordered
     }
 

@@ -1,0 +1,115 @@
+"""Golden schema lock for the Chrome-trace/Perfetto export.
+
+Perfetto compatibility depends on exact field names, the pid/tid
+mapping, and sane timestamps.  The schema skeleton (field-name sets
+per event phase, categories, track names — no timings) is locked
+against a checked-in fixture so a silent field rename or track
+reshuffle fails loudly; timestamp sanity is asserted in code.
+"""
+
+from repro.faults import fault_preset
+from repro.obs import chrome_trace_document
+from repro.obs.capture import capture_collective
+
+
+def _clean_capture():
+    return capture_collective("sp2", "broadcast", nbytes=1024,
+                              num_nodes=4)
+
+
+def _faulty_capture():
+    return capture_collective("t3d", "broadcast", nbytes=65536,
+                              num_nodes=16,
+                              faults=fault_preset("single-link-outage"))
+
+
+def _schema_skeleton(doc):
+    """Structure of the trace document with all timings stripped."""
+    events = doc["traceEvents"]
+    phases = {}
+    for event in events:
+        keyset = sorted(event)
+        shapes = phases.setdefault(event["ph"], [])
+        if keyset not in shapes:
+            shapes.append(keyset)
+    tracks = {str(e["tid"]): e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    return {
+        "document_keys": sorted(doc),
+        "other_data_keys": sorted(doc["otherData"]),
+        "phases": {ph: sorted(map(tuple, shapes))
+                   for ph, shapes in phases.items()},
+        "categories": sorted({e["cat"] for e in events if "cat" in e}),
+        "pids": sorted({e["pid"] for e in events}),
+        "tracks": tracks,
+        "span_events": sum(1 for e in events if e["ph"] == "X"),
+    }
+
+
+def test_clean_trace_schema_matches_golden(golden):
+    doc = chrome_trace_document(_clean_capture().tracer)
+    golden.check("chrome_trace_schema.json", _schema_skeleton(doc))
+
+
+def test_faulty_trace_schema_matches_golden(golden):
+    """Locks the fault-recovery span categories (reroute etc.) into
+    the exported schema alongside the clean ones."""
+    doc = chrome_trace_document(_faulty_capture().tracer)
+    golden.check("chrome_trace_schema_faulty.json",
+                 _schema_skeleton(doc))
+
+
+def test_complete_events_have_monotonic_timestamps():
+    """Spans are exported in begin order, so clean-trace "X" events
+    carry non-decreasing ts and non-negative dur."""
+    doc = chrome_trace_document(_clean_capture().tracer)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert complete
+    last = 0.0
+    for event in complete:
+        assert event["ts"] >= last
+        assert event["dur"] >= 0
+        last = event["ts"]
+
+
+def test_faulty_trace_timestamps_sane():
+    """Retroactive recovery spans may begin before later spans, so
+    the order guarantee relaxes to: every timestamp non-negative,
+    every duration non-negative."""
+    doc = chrome_trace_document(_faulty_capture().tracer)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert complete
+    for event in complete:
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+
+
+def test_span_ids_unique_and_parents_resolvable():
+    doc = chrome_trace_document(_faulty_capture().tracer)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    ids = [e["args"]["id"] for e in complete]
+    assert len(ids) == len(set(ids))
+    known = set(ids)
+    for event in complete:
+        parent = event["args"].get("parent")
+        if parent is not None:
+            assert parent in known
+
+
+def test_pid_tid_mapping():
+    """One process; track 0 for aggregate spans, node n on track n+1."""
+    doc = chrome_trace_document(_clean_capture().tracer)
+    events = doc["traceEvents"]
+    assert {e["pid"] for e in events} == {0}
+    tracks = {e["tid"]: e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert tracks[0] == "collectives"
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        if event["cat"] in ("collective", "phase"):
+            assert event["tid"] == 0
+        else:
+            # Per-node spans land on track node+1, which must be named.
+            assert event["tid"] >= 1
+            assert tracks[event["tid"]] == f"node {event['tid'] - 1}"

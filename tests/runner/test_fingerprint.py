@@ -76,3 +76,15 @@ def test_seed_changes_key_but_contention_flag_too():
     base = cell_fingerprint(SP2, "alltoall", 64, 4, QUICK_CONFIG)
     assert cell_fingerprint(SP2, "alltoall", 64, 4, quiet) != base
     assert cell_fingerprint(SP2, "alltoall", 64, 4, reseeded) != base
+
+
+def test_breakdown_flag_changes_key_only_when_set():
+    base = cell_fingerprint(SP2, "broadcast", 1024, 8, QUICK_CONFIG)
+    explicit = cell_fingerprint(SP2, "broadcast", 1024, 8,
+                                QUICK_CONFIG, breakdown=False)
+    marked = cell_fingerprint(SP2, "broadcast", 1024, 8, QUICK_CONFIG,
+                              breakdown=True)
+    # Default and explicit False hash identically, so every
+    # pre-breakdown cache entry stays valid; True gets its own key.
+    assert base == explicit
+    assert marked != base

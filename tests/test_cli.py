@@ -235,3 +235,110 @@ def test_diff_against_checked_in_baseline(capsys, tmp_path):
     assert main(["diff", str(baseline), str(out),
                  "--rtol", "1e-9"]) == 0
     assert "identical" in capsys.readouterr().out
+
+
+def test_critpath_command_clean(capsys, tmp_path):
+    csv_path = tmp_path / "chain.csv"
+    code = main(["critpath", "sp2", "broadcast", "--bytes", "4096",
+                 "--nodes", "16", "--csv", str(csv_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "critical path: broadcast" in out
+    assert "fault-recovery 0.0 (0.0%)" in out
+    assert "per-rank slack" in out
+    assert csv_path.read_text().splitlines()[0].startswith("step,")
+
+
+def test_critpath_command_faulty_attributes_recovery(capsys):
+    code = main(["critpath", "t3d", "broadcast", "--bytes", "1048576",
+                 "--nodes", "64", "--faults", "midflight-outage"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault-recovery" in out
+    # The recovery component must be nonzero in the totals line.
+    totals = next(line for line in out.splitlines()
+                  if line.startswith("total"))
+    assert "fault-recovery 0.0" not in totals
+
+
+def test_critpath_command_unknown_preset(capsys):
+    assert main(["critpath", "t3d", "broadcast", "--faults",
+                 "gremlins"]) == 2
+    assert "known presets" in capsys.readouterr().err
+
+
+def test_audit_command_baseline_passes(capsys, tmp_path):
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    out_path = tmp_path / "drift.json"
+    code = main(["audit", str(baseline), "--out", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-> PASS" in out
+    assert out_path.exists()
+
+    second = tmp_path / "drift2.json"
+    assert main(["audit", str(baseline), "--out", str(second)]) == 0
+    capsys.readouterr()
+    assert out_path.read_bytes() == second.read_bytes()
+
+
+def test_audit_command_exits_nonzero_on_breach(capsys, tmp_path):
+    import json
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    payload = json.loads(baseline.read_text())
+    payload["cells"][0]["result"]["time_us"] *= 3.0
+    doctored = tmp_path / "doctored.json"
+    doctored.write_text(json.dumps(payload))
+    code = main(["audit", str(doctored)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "BREACH" in out and "-> FAIL" in out
+
+
+def test_audit_command_bad_artifact_path(capsys, tmp_path):
+    assert main(["audit", str(tmp_path / "missing.json")]) == 2
+    assert capsys.readouterr().err
+
+
+def test_chaos_command_out_dumps_metrics(capsys, tmp_path):
+    import json
+    out_path = tmp_path / "chaos.json"
+    code = main(["chaos", "t3d", "broadcast", "--bytes", "65536",
+                 "--nodes", "16", "--out", str(out_path)])
+    assert code == 0
+    assert f"wrote {out_path}" in capsys.readouterr().out
+    document = json.loads(out_path.read_text())
+    assert document["plan"] == "single-link-outage"
+    assert document["counters"]["reroutes"] > 0
+    # The full registry snapshot rides along for offline analysis.
+    assert "fabric.transfers" in document["metrics"]
+    assert document["metrics"]["fabric.transfers"]["type"] == "counter"
+
+
+def test_sweep_breakdown_attaches_components(capsys, tmp_path):
+    import json
+    out_path = tmp_path / "sweep.json"
+    code = main(["sweep", "--grid", "smoke", "--no-cache",
+                 "--breakdown", "--machines", "sp2",
+                 "--ops", "broadcast", "--out", str(out_path)])
+    assert code == 0
+    capsys.readouterr()
+    document = json.loads(out_path.read_text())
+    assert document["breakdown"] is True
+    for cell in document["cells"]:
+        breakdown = cell["result"]["breakdown"]
+        parts = breakdown["components"]
+        assert set(parts) == {"software", "wire", "contention",
+                              "fault_recovery"}
+        assert sum(parts.values()) == pytest.approx(
+            breakdown["total_us"], abs=1e-3)
+
+
+def test_sweep_breakdown_requires_sim_mode(capsys):
+    assert main(["sweep", "--grid", "smoke", "--mode", "model",
+                 "--no-cache", "--breakdown"]) == 2
+    assert "--breakdown requires" in capsys.readouterr().err
