@@ -2,6 +2,7 @@
 
 from .compare import (
     crossover_message_size,
+    document_diff_paths,
     monotonically_increasing,
     ranking,
     values_match,
@@ -24,6 +25,20 @@ from .export import (
 from .figures import FigureData, figure1, figure2, figure3, figure4, \
     figure5
 from .headline import HeadlineCheck, format_headline, headline_checks
+from .perfsuite import (
+    PERF_SCHEMA,
+    PerfCheckResult,
+    PerfRun,
+    build_perf_artifact,
+    check_perf_artifact,
+    dumps_perf_artifact,
+    load_perf_artifact,
+    perf_workload_names,
+    run_perf_suite,
+    run_workload,
+    work_section_text,
+    write_perf_artifact,
+)
 from .tables import Table3Row, format_table3, table3
 from .workload import (
     FIGURE_OPS,
@@ -41,6 +56,9 @@ __all__ = [
     "FigureData",
     "HeadlineCheck",
     "MACHINES",
+    "PERF_SCHEMA",
+    "PerfCheckResult",
+    "PerfRun",
     "RunDiagnostics",
     "T3D_MAX_NODES",
     "Table3Row",
@@ -50,9 +68,19 @@ __all__ = [
     "bench_config",
     "bench_machine_sizes",
     "bench_message_sizes",
+    "build_perf_artifact",
     "chaos_report",
+    "check_perf_artifact",
+    "dumps_perf_artifact",
+    "load_perf_artifact",
+    "perf_workload_names",
+    "run_perf_suite",
+    "run_workload",
+    "work_section_text",
+    "write_perf_artifact",
     "crossover_message_size",
     "degradation_curves",
+    "document_diff_paths",
     "fault_counters",
     "figure1",
     "figure2",

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 __all__ = ["ranking", "winner", "crossover_message_size",
-           "monotonically_increasing", "values_match"]
+           "monotonically_increasing", "values_match",
+           "document_diff_paths"]
 
 
 def values_match(a: float, b: float, rtol: float = 0.0,
@@ -68,3 +69,40 @@ def monotonically_increasing(series: Dict[int, float],
     xs = sorted(series)
     return all(series[b] >= series[a] * (1.0 - tolerance)
                for a, b in zip(xs, xs[1:]))
+
+
+def document_diff_paths(a, b, prefix: str = "") -> List[str]:
+    """JSON paths at which two documents differ, sorted.
+
+    Walks dicts and lists recursively; a leaf mismatch (or a
+    missing/extra key, or a type change) contributes its
+    slash-separated path.  The regression tests use this to assert
+    that two runs of a benchmark differ *only* in designated volatile
+    paths (e.g. everything under ``throughput/`` in
+    ``BENCH_engine.json``) — any other divergence is nondeterminism.
+    """
+    if isinstance(a, dict) and isinstance(b, dict):
+        paths: List[str] = []
+        for key in sorted(set(a) | set(b)):
+            child = f"{prefix}{key}"
+            if key not in a or key not in b:
+                paths.append(child)
+            else:
+                paths.extend(document_diff_paths(a[key], b[key],
+                                                 child + "/"))
+        return paths
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return [f"{prefix}length"]
+        paths = []
+        for index, (left, right) in enumerate(zip(a, b)):
+            paths.extend(document_diff_paths(left, right,
+                                             f"{prefix}{index}/"))
+        return paths
+    if type(a) is not type(b) and not (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))
+            and not isinstance(a, bool) and not isinstance(b, bool)):
+        return [prefix.rstrip("/") or "<root>"]
+    if a != b:
+        return [prefix.rstrip("/") or "<root>"]
+    return []

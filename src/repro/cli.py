@@ -10,6 +10,8 @@ Examples::
     repro-bench trace sp2 broadcast --bytes 4096 --nodes 16 \\
         --out trace.json
     repro-bench profile t3d alltoall --bytes 4096 --nodes 32
+    repro-bench perf --out BENCH_engine.json
+    repro-bench perf --check BENCH_engine.json --flame engine.folded
     repro-bench sweep --grid fig3 --workers 8 --out BENCH_sweep.json
     repro-bench sweep --grid smoke --faults lossy --cell-timeout 120
     repro-bench chaos t3d broadcast --nodes 64
@@ -143,6 +145,41 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--top", type=int, default=8,
                          help="links/process types to list")
+    profile.add_argument("--csv", metavar="PATH",
+                         help="also write the site rankings as CSV")
+    profile.add_argument("--folded", metavar="PATH",
+                         help="also write collapsed stacks (feed to "
+                              "flamegraph.pl or speedscope)")
+    profile.add_argument("--work", action="store_true",
+                         help="also print the deterministic work "
+                              "counters")
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the fixed engine perf suite; emit or gate the "
+             "BENCH_engine.json trajectory artifact")
+    perf.add_argument("--suite", default="default",
+                      choices=["smoke", "default"],
+                      help="workload set: smoke = micro kernels only, "
+                           "default = micro kernels + p=64/256 "
+                           "collectives on all three machines")
+    perf.add_argument("--out", metavar="PATH",
+                      help="write the artifact "
+                           "(e.g. BENCH_engine.json)")
+    perf.add_argument("--check", metavar="BASELINE",
+                      help="gate against a baseline artifact: exits "
+                           "non-zero on any work-counter change or on "
+                           "throughput below --min-ratio x baseline")
+    perf.add_argument("--min-ratio", type=_positive_float,
+                      default=None,
+                      help="events/sec floor as a fraction of the "
+                           "baseline (default 0.33; wall-clock only — "
+                           "work counters always compare exactly)")
+    perf.add_argument("--flame", metavar="PATH",
+                      help="profile the suite and write collapsed "
+                           "stacks (flamegraph.pl / speedscope input)")
+    perf.add_argument("--top", type=_positive_int, default=10,
+                      help="hot sites to list with --flame")
 
     sweep = sub.add_parser(
         "sweep",
@@ -434,6 +471,52 @@ def _run_critpath_command(args) -> int:
     return 0
 
 
+def _run_perf_command(args) -> int:
+    from .bench.perfsuite import (
+        DEFAULT_MIN_RATIO,
+        build_perf_artifact,
+        check_perf_artifact,
+        load_perf_artifact,
+        run_perf_suite,
+        write_perf_artifact,
+    )
+    profiler = None
+    if args.flame:
+        from .obs import EngineProfiler
+        profiler = EngineProfiler()
+    runs = run_perf_suite(args.suite, profiler=profiler)
+    artifact = build_perf_artifact(runs, suite=args.suite)
+    total = artifact["throughput"]["total"]
+    print(f"engine perf suite '{args.suite}': {len(runs)} workloads, "
+          f"{total['events_fired']} events in {total['wall_s']:.2f} s "
+          f"({total['events_per_sec']:,.0f} events/s)")
+    for run in runs:
+        print(f"  {run.workload:<36s} "
+              f"events={run.work['events_fired']:<9d} "
+              f"wall={run.wall_s * 1e3:9.1f} ms")
+    if profiler is not None:
+        from .obs import write_folded_stacks
+        print()
+        print(profiler.format_report(top=args.top))
+        print(f"wrote {write_folded_stacks(profiler, args.flame)}")
+    if args.out:
+        print(f"wrote {write_perf_artifact(artifact, args.out)}")
+    if args.check:
+        try:
+            baseline = load_perf_artifact(args.check)
+        except (OSError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        min_ratio = args.min_ratio if args.min_ratio is not None \
+            else DEFAULT_MIN_RATIO
+        result = check_perf_artifact(artifact, baseline,
+                                     min_ratio=min_ratio)
+        print()
+        print(result.format())
+        return 0 if result.passed() else 1
+    return 0
+
+
 def _run_audit_command(args) -> int:
     from .obs.drift import (
         DriftTolerance,
@@ -540,7 +623,8 @@ def _dispatch(args) -> int:
         capture = capture_collective(
             args.machine, args.op, nbytes=args.bytes,
             num_nodes=args.nodes, iterations=args.iterations,
-            seed=args.seed, trace=False, profile=True)
+            seed=args.seed, trace=False, profile=True,
+            work=args.work)
         print(capture.summary())
         print()
         print(format_utilization_report(capture.world.machine,
@@ -548,8 +632,19 @@ def _dispatch(args) -> int:
                                         top=args.top))
         print()
         print(capture.profiler.format_report(top=args.top))
+        if args.work:
+            print()
+            print(capture.work.format_report())
         print()
         print(capture.metrics.format_report())
+        if args.csv:
+            from .obs import write_profile_csv
+            print(f"wrote {write_profile_csv(capture.profiler, args.csv)}")
+        if args.folded:
+            from .obs import write_folded_stacks
+            print(f"wrote {write_folded_stacks(capture.profiler, args.folded)}")
+    elif args.command == "perf":
+        return _run_perf_command(args)
     elif args.command == "sweep":
         return _run_sweep_command(args)
     elif args.command == "chaos":

@@ -35,7 +35,9 @@ PARAGON = MachineSpec(
     name="paragon",
     full_name="Intel Paragon",
     site="San Diego Supercomputer Center",
-    max_nodes=128,
+    # The SDSC installation had 416 nodes (ORNL's XP/S-150 had 3072);
+    # the engine perf suite simulates p=256 configurations.
+    max_nodes=416,
     software=SoftwareCosts(
         call_setup_us=15.0,
         send_msg_us=40.0,

@@ -98,6 +98,9 @@ class Transport:
         self._check_rank(dst)
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
+        work = self.env.work
+        if work is not None:
+            work.messages_sent += 1
         tracer = self.machine.tracer
         span = None
         if tracer.enabled:
@@ -255,9 +258,26 @@ class Transport:
                     yield self.env.timeout(rto - wire_us)
             if attempt + 1 < attempts:
                 injector.record_retransmit()
+                work = self.env.work
+                if work is not None:
+                    work.retransmissions += 1
         raise DeliveryError(src, dst, tag, attempts)
 
     def _deliver(self, envelope: Envelope) -> None:
+        profiler = self.env.profiler
+        if profiler is None:
+            self._deliver_now(envelope)
+            return
+        profiler.enter("transport.deliver")
+        try:
+            self._deliver_now(envelope)
+        finally:
+            profiler.leave()
+
+    def _deliver_now(self, envelope: Envelope) -> None:
+        work = self.env.work
+        if work is not None:
+            work.messages_delivered += 1
         metrics = self.machine.metrics
         if metrics.enabled:
             metrics.counter("mpi.messages_delivered").inc()

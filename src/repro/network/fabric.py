@@ -120,8 +120,23 @@ class NetworkFabric:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         injector = self.injector
-        route, detoured = self._select_route(src, dst)
+        profiler = self.env.profiler
+        if profiler is None:
+            route, detoured = self._select_route(src, dst)
+        else:
+            profiler.enter("fabric.route")
+            try:
+                route, detoured = self._select_route(src, dst)
+            finally:
+                profiler.leave()
+        work = self.env.work
+        if work is not None:
+            work.transfers_booked += 1
+            if detoured:
+                work.transfers_rerouted += 1
         if not route:
+            if work is not None:
+                work.transfers_completed += 1
             return
         # A detour is fault-recovery work: wrap its link occupancy in a
         # dedicated span so the extra hops are attributable.
@@ -147,6 +162,8 @@ class NetworkFabric:
                                     parent_span)
         except Interrupt as interrupt:
             injector.record_abort()
+            if work is not None:
+                work.transfers_aborted += 1
             raise TransferAborted(src, dst,
                                   f"interrupted: {interrupt.cause}")
         finally:
@@ -160,8 +177,11 @@ class NetworkFabric:
         """Acquire the route, hold it, release it.  On an Interrupt
         every acquired (or still queued) request is released before the
         exception propagates, so a dying transfer never wedges a link."""
+        work = self.env.work
         if not self.contention:
             yield self.env.timeout(hold)
+            if work is not None:
+                work.transfers_completed += 1
             return
         ordered = sorted(route, key=self._order.__getitem__)
         requests: List[Tuple[LinkId, Event]] = []
@@ -177,6 +197,10 @@ class NetworkFabric:
                 if link_wait > 0:
                     self._links[link_id].record_wait(link_wait)
             wait = self.env.now - queued_at
+            if work is not None:
+                work.link_acquisitions += len(ordered)
+                if wait > 0:
+                    work.transfers_stalled += 1
             metrics = self.metrics
             if metrics.enabled:
                 metrics.counter("fabric.transfers").inc()
@@ -205,6 +229,8 @@ class NetworkFabric:
             self._links[link_id].resource.release(request)
         for span in occupancy:
             self.tracer.end(span, self.env.now)
+        if work is not None:
+            work.transfers_completed += 1
 
     def utilisation(self) -> Dict[LinkId, int]:
         """Bytes carried per link (only meaningful with contention on)."""

@@ -30,13 +30,21 @@ from .critpath import (
 from .export import (
     chrome_trace_document,
     chrome_trace_events,
+    profile_to_rows,
     spans_to_rows,
     write_chrome_trace,
+    write_folded_stacks,
+    write_profile_csv,
     write_spans_csv,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perf import WORK_COUNTERS, WorkMeter
 from .profiler import EngineProfiler
-from .report import format_utilization_report, link_stats
+from .report import (
+    format_engine_report,
+    format_utilization_report,
+    link_stats,
+)
 from .spans import CollectiveObserver
 
 __all__ = [
@@ -49,14 +57,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PathStep",
+    "WORK_COUNTERS",
+    "WorkMeter",
     "chrome_trace_document",
     "chrome_trace_events",
     "critical_path",
     "critpath_rows",
+    "format_engine_report",
     "format_utilization_report",
     "link_stats",
+    "profile_to_rows",
     "spans_to_rows",
     "write_chrome_trace",
     "write_critpath_csv",
+    "write_folded_stacks",
+    "write_profile_csv",
     "write_spans_csv",
 ]

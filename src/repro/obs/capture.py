@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..sim import Tracer
 from .metrics import MetricsRegistry
+from .perf import WorkMeter
 from .profiler import EngineProfiler
 
 __all__ = ["CollectiveCapture", "capture_collective"]
@@ -35,6 +36,7 @@ class CollectiveCapture:
     tracer: Tracer
     metrics: MetricsRegistry
     profiler: Optional[EngineProfiler]
+    work: Optional[WorkMeter] = None
 
     def critical_path(self):
         """Causal critical path of the captured run (the longest
@@ -69,6 +71,7 @@ def capture_collective(machine: str, op: str, nbytes: int = 1024,
                        iterations: int = 1, seed: int = 0,
                        contention: bool = True, trace: bool = True,
                        metrics: bool = True, profile: bool = False,
+                       work: bool = False,
                        max_records: Optional[int] = None,
                        max_spans: Optional[int] = None,
                        faults=None) -> CollectiveCapture:
@@ -76,7 +79,9 @@ def capture_collective(machine: str, op: str, nbytes: int = 1024,
 
     ``faults`` (a :class:`~repro.faults.FaultPlan`) runs the capture
     under fault injection, so the trace carries the
-    ``retransmit``/``backoff``/``reroute`` recovery spans.
+    ``retransmit``/``backoff``/``reroute`` recovery spans.  ``work``
+    attaches a :class:`WorkMeter`, so the capture also carries the
+    deterministic work counters of :mod:`repro.obs.perf`.
     """
     from ..mpi import MpiWorld
 
@@ -90,10 +95,14 @@ def capture_collective(machine: str, op: str, nbytes: int = 1024,
     if profile:
         profiler = EngineProfiler()
         world.env.profiler = profiler
+    meter = None
+    if work:
+        meter = WorkMeter()
+        world.env.work = meter
     elapsed = world.run_collective(op, nbytes, root=root,
                                    iterations=iterations)
     return CollectiveCapture(
         machine=world.spec.name, op=op, nbytes=nbytes,
         num_nodes=num_nodes, iterations=iterations, elapsed_us=elapsed,
         world=world, tracer=world.tracer, metrics=world.machine.metrics,
-        profiler=profiler)
+        profiler=profiler, work=meter)

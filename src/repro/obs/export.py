@@ -25,6 +25,9 @@ __all__ = [
     "write_chrome_trace",
     "spans_to_rows",
     "write_spans_csv",
+    "profile_to_rows",
+    "write_profile_csv",
+    "write_folded_stacks",
 ]
 
 #: Track id offset for per-node tracks (track 0 holds the aggregate
@@ -119,4 +122,37 @@ def write_spans_csv(tracer: Tracer, path: str) -> str:
         writer = csv.DictWriter(handle, fieldnames=fields)
         writer.writeheader()
         writer.writerows(rows)
+    return path
+
+
+def profile_to_rows(profiler) -> List[Dict[str, Any]]:
+    """Site rankings of an :class:`~repro.obs.EngineProfiler` as rows
+    (deterministically ordered; see ``EngineProfiler.rankings``)."""
+    return [{
+        "site": site,
+        "calls": calls,
+        "cumulative_s": cum_s,
+        "self_s": self_s,
+    } for site, calls, cum_s, self_s in profiler.rankings()]
+
+
+def write_profile_csv(profiler, path: str) -> str:
+    """Write the profiler's site rankings to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=["site", "calls", "cumulative_s",
+                                "self_s"])
+        writer.writeheader()
+        writer.writerows(profile_to_rows(profiler))
+    return path
+
+
+def write_folded_stacks(profiler, path: str) -> str:
+    """Write the profiler's collapsed stacks to ``path`` — the input
+    format of ``flamegraph.pl`` and speedscope."""
+    lines = profiler.folded_lines()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
     return path

@@ -22,6 +22,8 @@ Quickstart::
 """
 
 from .artifact import (
+    VOLATILE_RESULT_FIELDS,
+    scrub_volatile,
     ARTIFACT_SCHEMA,
     ArtifactDiff,
     build_artifact,
@@ -63,6 +65,7 @@ __all__ = [
     "SweepConfig",
     "SweepGrid",
     "SweepResult",
+    "VOLATILE_RESULT_FIELDS",
     "build_artifact",
     "canonical_json",
     "cell_fingerprint",
@@ -73,6 +76,7 @@ __all__ = [
     "load_artifact",
     "preset_grid",
     "run_sweep",
+    "scrub_volatile",
     "shard_cells",
     "spec_fingerprint",
     "to_jsonable",

@@ -21,7 +21,8 @@ from ..sim import SIM_VERSION
 from .fingerprint import to_jsonable
 from .pool import SweepConfig, SweepResult
 
-__all__ = ["ARTIFACT_SCHEMA", "build_artifact", "dumps_artifact",
+__all__ = ["ARTIFACT_SCHEMA", "VOLATILE_RESULT_FIELDS",
+           "scrub_volatile", "build_artifact", "dumps_artifact",
            "write_artifact", "load_artifact", "ArtifactDiff",
            "diff_artifacts"]
 
@@ -29,8 +30,25 @@ PathLike = Union[str, Path]
 
 ARTIFACT_SCHEMA = "repro-sweep/1"
 
+#: Wall-clock and host-identity fields that must never reach a
+#: byte-compared artifact.  In-tree evaluators produce none of them;
+#: the scrub in :func:`build_artifact` is the enforcement point for
+#: results that arrive via the cache from older versions or external
+#: tooling (e.g. a per-cell ``elapsed_s`` — the sweep-level one on
+#: :class:`SweepResult` only ever reaches the progress summary).
+VOLATILE_RESULT_FIELDS = frozenset({
+    "elapsed_s", "wall_s", "wall_clock_s", "host", "hostname",
+    "timestamp", "started_at", "finished_at", "pid", "worker",
+})
+
 #: (machine, op, nbytes, p) — how diffing pairs cells up.
 CellKey = Tuple[str, str, int, int]
+
+
+def scrub_volatile(result: Dict[str, object]) -> Dict[str, object]:
+    """A copy of a cell result with volatile fields removed."""
+    return {name: value for name, value in result.items()
+            if name not in VOLATILE_RESULT_FIELDS}
 
 
 def build_artifact(result: SweepResult, grid_name: str,
@@ -46,7 +64,7 @@ def build_artifact(result: SweepResult, grid_name: str,
             "nbytes": cell.nbytes,
             "p": cell.p,
             "fingerprint": result.fingerprints[cell],
-            "result": result.results[cell],
+            "result": scrub_volatile(result.results[cell]),
         })
     payload = {
         "schema": ARTIFACT_SCHEMA,

@@ -20,7 +20,6 @@ through the seeded streams in :mod:`repro.sim.rng`.
 from __future__ import annotations
 
 import heapq
-from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -220,6 +219,9 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks.append(self._resume)
+        work = self.env.work
+        if work is not None:
+            work.interrupts += 1
         self.env._schedule(interrupt_event, self.env.now, URGENT)
 
     # -- generator stepping -------------------------------------------------
@@ -369,6 +371,10 @@ class Environment:
         #: notified of scheduling, firing, and callback wall-clock.
         #: ``None`` (the default) keeps the hot path to one check.
         self.profiler: Optional[Any] = None
+        #: Optional deterministic work counters (see
+        #: :class:`repro.obs.perf.WorkMeter`).  Same convention as the
+        #: profiler: ``None`` by default, one check per site.
+        self.work: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -409,6 +415,12 @@ class Environment:
                 f"cannot schedule event in the past ({at} < {self._now})")
         self._eid += 1
         heapq.heappush(self._queue, (at, priority, self._eid, event))
+        work = self.work
+        if work is not None:
+            work.events_scheduled += 1
+            work.heap_pushes += 1
+            if len(self._queue) > work.heap_peak:
+                work.heap_peak = len(self._queue)
         if self.profiler is not None:
             self.profiler.event_scheduled(event)
 
@@ -423,16 +435,25 @@ class Environment:
         at, _, _, event = heapq.heappop(self._queue)
         self._now = at
         callbacks, event.callbacks = event.callbacks, None
+        work = self.work
+        if work is not None:
+            work.events_fired += 1
+            work.heap_pops += 1
+            work.callbacks_dispatched += len(callbacks)
         profiler = self.profiler
         if profiler is None:
             for callback in callbacks:
                 callback(event)
         else:
             profiler.event_fired(event)
+            # Hold the local reference so enter/leave stay balanced
+            # even if a callback detaches the profiler mid-step.
             for callback in callbacks:
-                began = perf_counter()
-                callback(event)
-                profiler.callback_timed(callback, perf_counter() - began)
+                profiler.enter_callback(callback)
+                try:
+                    callback(event)
+                finally:
+                    profiler.leave()
         if not event._ok and not event._defused:
             raise event._value
 

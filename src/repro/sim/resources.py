@@ -66,8 +66,23 @@ class Resource:
 
     def request(self) -> Request:
         """Claim one unit; the returned event fires when granted."""
+        profiler = self.env.profiler
+        if profiler is None:
+            return self._request()
+        profiler.enter("resource.request")
+        try:
+            return self._request()
+        finally:
+            profiler.leave()
+
+    def _request(self) -> Request:
         req = Request(self)
+        work = self.env.work
+        if work is not None:
+            work.resource_requests += 1
         if len(self._users) < self.capacity:
+            if work is not None:
+                work.resource_grants += 1
             self._users.add(req)
             req.succeed(req)
         else:
@@ -76,17 +91,35 @@ class Resource:
 
     def release(self, req: Request) -> None:
         """Return a previously granted unit and wake the next waiter."""
+        profiler = self.env.profiler
+        if profiler is None:
+            self._release(req)
+            return
+        profiler.enter("resource.release")
+        try:
+            self._release(req)
+        finally:
+            profiler.leave()
+
+    def _release(self, req: Request) -> None:
+        work = self.env.work
         if req in self._users:
             self._users.remove(req)
+            if work is not None:
+                work.resource_releases += 1
         elif req in self._waiting:
             # Cancelled before being granted.
             self._waiting.remove(req)
+            if work is not None:
+                work.resource_cancellations += 1
             return
         else:
             raise SimulationError("release of a request not held")
         if self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.add(nxt)
+            if work is not None:
+                work.resource_grants += 1
             nxt.succeed(nxt)
 
 
@@ -113,6 +146,9 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Append ``item``, waking the oldest blocked getter if any."""
+        work = self.env.work
+        if work is not None:
+            work.store_puts += 1
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -121,6 +157,9 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next item (FIFO)."""
+        work = self.env.work
+        if work is not None:
+            work.store_gets += 1
         event = Event(self.env)
         if self._items:
             event.succeed(self._items.popleft())
@@ -143,6 +182,9 @@ class FilterStore(Store):
         self._getters = None  # type: ignore[assignment]  # unused here
 
     def put(self, item: Any) -> None:
+        work = self.env.work
+        if work is not None:
+            work.store_puts += 1
         for idx, (event, predicate) in enumerate(self._filter_getters):
             if predicate(item):
                 del self._filter_getters[idx]
@@ -153,6 +195,9 @@ class FilterStore(Store):
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         if predicate is None:
             predicate = lambda item: True  # noqa: E731 - trivial default
+        work = self.env.work
+        if work is not None:
+            work.store_gets += 1
         event = Event(self.env)
         for idx, item in enumerate(self._items):
             if predicate(item):

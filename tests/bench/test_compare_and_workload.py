@@ -78,3 +78,24 @@ def test_figure_data_add_get_format():
     text = data.format()
     assert "Figure X: demo" in text
     assert "broadcast/t3d" in text
+
+
+def test_document_diff_paths_walks_nested_documents():
+    from repro.bench import document_diff_paths
+
+    a = {"x": 1, "nested": {"same": True, "num": 1.5},
+         "items": [1, 2, 3]}
+    b = {"x": 2, "nested": {"same": True, "num": 2.5},
+         "items": [1, 9, 3]}
+    assert document_diff_paths(a, b) == \
+        ["items/1", "nested/num", "x"]
+    assert document_diff_paths(a, a) == []
+    # Missing keys and length changes are reported as paths too.
+    assert document_diff_paths({"k": 1}, {}) == ["k"]
+    assert document_diff_paths([1], [1, 2]) == ["length"]
+    # Scalar root mismatch.
+    assert document_diff_paths(1, 2) == ["<root>"]
+    # int vs float of equal value is not a difference (JSON numbers).
+    assert document_diff_paths({"n": 1}, {"n": 1.0}) == []
+    # ...but bool vs int is (True != 1 semantically in artifacts).
+    assert document_diff_paths({"n": True}, {"n": 1}) == ["n"]

@@ -97,7 +97,7 @@ def test_machine_size_bounds():
     with pytest.raises(ValueError):
         Machine(env, SP2, 1)
     with pytest.raises(ValueError):
-        Machine(env, SP2, 129)
+        Machine(env, SP2, SP2.max_nodes + 1)
 
 
 def test_spec_requires_two_nodes():

@@ -101,3 +101,41 @@ def test_diff_flags_metadata_changes():
     diff = diff_artifacts(baseline, current)
     assert not diff.clean()
     assert any("mode" in item for item in diff.metadata)
+
+
+def test_scrub_volatile_strips_wall_clock_fields():
+    from repro.runner import VOLATILE_RESULT_FIELDS, scrub_volatile
+
+    result = {"time_us": 42.0, "elapsed_s": 1.23, "host": "ci-runner",
+              "timestamp": "2026-08-08T12:00:00", "run_times_us": [42.0]}
+    scrubbed = scrub_volatile(result)
+    assert scrubbed == {"time_us": 42.0, "run_times_us": [42.0]}
+    assert "elapsed_s" in VOLATILE_RESULT_FIELDS
+
+
+def test_build_artifact_scrubs_volatile_result_fields():
+    """A cached result written by older tooling may carry wall-clock
+    fields; they must never reach the byte-compared artifact."""
+    config = SweepConfig(mode="analytic", measurement=FAST,
+                         use_cache=False)
+    result = run_sweep(preset_grid("smoke").cells(), config,
+                       ResultCache(enabled=False))
+    tainted_cell = result.cells[0]
+    result.results[tainted_cell] = {
+        **result.results[tainted_cell],
+        "elapsed_s": 9.99, "hostname": "somewhere",
+    }
+    artifact = build_artifact(result, "smoke", config)
+    for cell in artifact["cells"]:
+        assert "elapsed_s" not in cell["result"]
+        assert "hostname" not in cell["result"]
+
+
+def test_two_sweep_runs_are_byte_identical():
+    """The sweep artifact designates *no* volatile fields: two runs of
+    the same grid must serialize byte for byte."""
+    from repro.bench import document_diff_paths
+
+    first, second = _artifact(), _artifact()
+    assert document_diff_paths(first, second) == []
+    assert dumps_artifact(first) == dumps_artifact(second)

@@ -342,3 +342,71 @@ def test_sweep_breakdown_requires_sim_mode(capsys):
     assert main(["sweep", "--grid", "smoke", "--mode", "model",
                  "--no-cache", "--breakdown"]) == 2
     assert "--breakdown requires" in capsys.readouterr().err
+
+
+def test_profile_command_csv_folded_and_work(capsys, tmp_path):
+    csv_path = tmp_path / "sites.csv"
+    folded_path = tmp_path / "engine.folded"
+    code = main(["profile", "t3d", "broadcast", "--bytes", "1024",
+                 "--nodes", "8", "--work",
+                 "--csv", str(csv_path), "--folded", str(folded_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "work counters:" in out
+    assert "messages_sent" in out
+    assert csv_path.read_text().startswith("site,calls,")
+    folded = folded_path.read_text().strip().splitlines()
+    assert folded
+    assert all(line.rpartition(" ")[2].isdigit() for line in folded)
+
+
+def test_perf_command_emits_and_checks_baseline(capsys, tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    code = main(["perf", "--suite", "smoke", "--out", str(out)])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "engine perf suite 'smoke'" in stdout
+    assert "micro/engine-timeouts" in stdout
+    assert out.exists()
+
+    assert main(["perf", "--suite", "smoke",
+                 "--check", str(out)]) == 0
+    checked = capsys.readouterr().out
+    assert "identical to baseline" in checked
+    assert "perf check: PASS" in checked
+
+
+def test_perf_command_check_fails_on_counter_change(capsys, tmp_path):
+    import json
+    out = tmp_path / "BENCH_engine.json"
+    assert main(["perf", "--suite", "smoke", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    payload["work"]["micro/engine-timeouts"]["counters"][
+        "events_fired"] += 1
+    out.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert main(["perf", "--suite", "smoke",
+                 "--check", str(out)]) == 1
+    checked = capsys.readouterr().out
+    assert "work-counter mismatches" in checked
+    assert "perf check: FAIL" in checked
+
+
+def test_perf_command_check_rejects_foreign_artifact(capsys, tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "other/1"}')
+    assert main(["perf", "--suite", "smoke",
+                 "--check", str(bogus)]) == 2
+    assert "not an engine-perf artifact" in capsys.readouterr().err
+
+
+def test_perf_command_flame_writes_folded_stacks(capsys, tmp_path):
+    folded = tmp_path / "engine.folded"
+    code = main(["perf", "--suite", "smoke", "--flame", str(folded),
+                 "--top", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "engine profile:" in out
+    lines = folded.read_text().strip().splitlines()
+    assert lines
+    assert any(";" in line for line in lines)  # nested stacks present
