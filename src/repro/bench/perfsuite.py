@@ -87,8 +87,20 @@ class PerfRun:
 
 def _kernel_engine_timeouts(env) -> float:
     def proc():
-        for _ in range(2000):
+        for _ in range(400000):
             yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    return env.now
+
+
+def _kernel_engine_sleep_pool(env) -> float:
+    """The engine-internal pooled-timeout path (``Environment.sleep``):
+    the primitive every hot model path now rides on."""
+    def proc():
+        for _ in range(800000):
+            yield env.sleep(1.0)
 
     env.process(proc())
     env.run()
@@ -101,7 +113,7 @@ def _kernel_resource_handoff(env) -> float:
     resource = Resource(env, capacity=1)
 
     def worker():
-        for _ in range(50):
+        for _ in range(4000):
             request = resource.request()
             yield request
             yield env.timeout(0.1)
@@ -119,12 +131,12 @@ def _kernel_store_pipeline(env) -> float:
     store = Store(env)
 
     def producer():
-        for item in range(500):
+        for item in range(20000):
             store.put(item)
             yield env.timeout(0.5)
 
     def consumer():
-        for _ in range(500):
+        for _ in range(20000):
             yield store.get()
 
     env.process(producer(), name="producer")
@@ -133,13 +145,13 @@ def _kernel_store_pipeline(env) -> float:
     return env.now
 
 
-def _micro(kernel) -> Callable[[WorkMeter, Optional[EngineProfiler]],
-                               float]:
+def _micro(kernel, scheduler: Optional[str] = None
+           ) -> Callable[[WorkMeter, Optional[EngineProfiler]], float]:
     def run(meter: WorkMeter,
             profiler: Optional[EngineProfiler]) -> float:
         from ..sim import Environment
 
-        env = Environment()
+        env = Environment(scheduler=scheduler)
         env.work = meter
         env.profiler = profiler
         return kernel(env)
@@ -195,6 +207,10 @@ def _workloads() -> "Dict[str, Tuple[Tuple[str, ...], Callable]]":
     table: Dict[str, Tuple[Tuple[str, ...], Callable]] = {}
     both = ("smoke", "default")
     table["micro/engine-timeouts"] = (both, _micro(_kernel_engine_timeouts))
+    table["micro/engine-sleep-pool"] = \
+        (both, _micro(_kernel_engine_sleep_pool))
+    table["micro/engine-timeouts-calendar"] = \
+        (both, _micro(_kernel_engine_timeouts, scheduler="calendar"))
     table["micro/resource-handoff"] = \
         (both, _micro(_kernel_resource_handoff))
     table["micro/store-pipeline"] = (both, _micro(_kernel_store_pipeline))
@@ -209,6 +225,12 @@ def _workloads() -> "Dict[str, Tuple[Tuple[str, ...], Callable]]":
             (full, _collective(machine, "allreduce", 4096, 256))
         table[f"collective/{machine}-alltoall-p64"] = \
             (full, _collective(machine, "alltoall", 256, 64))
+    # Only the T3D scales to 1024 nodes (sp2 caps at 512, paragon at
+    # 416), so the paper-scale collectives run there.
+    table["collective/t3d-broadcast-p1024"] = \
+        (full, _collective("t3d", "broadcast", 4096, 1024))
+    table["collective/t3d-allreduce-p1024"] = \
+        (full, _collective("t3d", "allreduce", 4096, 1024))
     return table
 
 

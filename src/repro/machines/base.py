@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..faults import FaultInjector, FaultPlan
 from ..network import (
@@ -218,7 +218,8 @@ class Machine:
                  tracer: Optional[Tracer] = None, contention: bool = True,
                  cpu_slowdown: Optional[Mapping[int, float]] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 fast_wire: bool = True):
         if not 2 <= num_nodes <= spec.max_nodes:
             raise ValueError(
                 f"{spec.name} supports 2..{spec.max_nodes} nodes, "
@@ -241,6 +242,13 @@ class Machine:
             if factor < 1.0:
                 raise ValueError(
                     f"slowdown factor must be >= 1.0, got {factor}")
+        #: Allow the transport's analytic short-circuit (see
+        #: :meth:`repro.mpi.transport.Transport._wire_fast`).  The
+        #: short-circuit additionally requires no fault injector and
+        #: tracing/metrics off; ``False`` forces full simulation of
+        #: every message regardless (the equivalence suite runs both
+        #: ways and asserts identical times).
+        self.fast_wire = fast_wire
         self.topology = spec.network.build_topology(num_nodes)
         # A fault-free plan builds no injector at all, which keeps the
         # fabric/NIC/jitter hot paths — and therefore every simulated
@@ -259,6 +267,10 @@ class Machine:
                                     metrics=self.metrics,
                                     injector=self.injector)
         self.nodes = [self._build_node(i) for i in range(num_nodes)]
+        # Lazily cached ``generator.normal`` bound methods, one per
+        # node: jitter() runs several times per message, and the
+        # f-string + stream-dict lookup dwarf the draw itself.
+        self._jitter_normals: List[Optional[Any]] = [None] * num_nodes
         self.hardware_barrier: Optional[HardwareBarrier] = None
         if spec.barrier_wire is not None:
             self.hardware_barrier = HardwareBarrier(
@@ -291,11 +303,22 @@ class Machine:
         """One software-cost multiplier for ``node_index``.
 
         Combines the random run-to-run jitter with the node's
-        interference slowdown (1.0 in dedicated mode).
+        interference slowdown (1.0 in dedicated mode).  Draws the same
+        value from the same ``sw.<node>`` stream as
+        :meth:`RandomStreams.jitter`, via a cached bound method.
         """
-        draw = self.streams.jitter(f"sw.{node_index}",
-                                   self.spec.software.jitter_sigma)
-        factor = draw * self.cpu_slowdown.get(node_index, 1.0)
+        sigma = self.spec.software.jitter_sigma
+        if sigma <= 0.0:
+            factor = 1.0
+        else:
+            normal = self._jitter_normals[node_index]
+            if normal is None:
+                normal = self.streams.stream(f"sw.{node_index}").normal
+                self._jitter_normals[node_index] = normal
+            draw = normal(1.0, sigma)
+            factor = draw if draw > 1e-3 else 1e-3
+        if self.cpu_slowdown:
+            factor = factor * self.cpu_slowdown.get(node_index, 1.0)
         if self.injector is not None:
             factor *= self.injector.cpu_factor(node_index, self.env.now)
         return factor

@@ -32,6 +32,7 @@ from ..machines import Machine
 from ..network import TransferAborted
 from ..node import TransferMode
 from ..sim import Event, Span
+from ..sim.engine import NORMAL
 from .errors import DeliveryError, RankError, TruncationError
 
 __all__ = ["Envelope", "PostedReceive", "Transport"]
@@ -115,12 +116,12 @@ class Transport:
         node = self.machine.nodes[src]
         mode = node.payload_mode(self.spec.uses_dma_for(op), nbytes)
         if sw_cost_us is not None:
-            yield self.env.timeout(sw_cost_us * self.machine.jitter(src))
+            yield self.env.sleep(sw_cost_us * self.machine.jitter(src))
         else:
             cost = software.send_msg_us
             if buffered:
                 cost += software.buffered_msg_us
-            yield self.env.timeout(cost * self.machine.jitter(src))
+            yield self.env.sleep(cost * self.machine.jitter(src))
             if nbytes > 0:
                 if mode is TransferMode.HOST:
                     # An unbuffered send streams straight from the user
@@ -132,10 +133,128 @@ class Transport:
                 else:
                     assert node.dma is not None
                     yield from node.dma.stream(nbytes)
-        self.env.process(self._wire(src, dst, nbytes, tag, op,
-                                    fast=mode is not TransferMode.HOST,
-                                    span=span, phase_span=parent_span),
-                         name=f"wire-{src}-{dst}")
+        fast = mode is not TransferMode.HOST
+        if not self._wire_fast(src, dst, nbytes, tag, op, fast):
+            self.env.process(self._wire(src, dst, nbytes, tag, op,
+                                        fast=fast, span=span,
+                                        phase_span=parent_span),
+                             name=f"wire-{src}-{dst}")
+
+    # -- analytic short-circuit -------------------------------------------
+    def _wire_fast(self, src: int, dst: int, nbytes: int, tag: object,
+                   op: str, fast: bool) -> bool:
+        """Try to carry one message analytically, without wire processes.
+
+        Eligibility is checked explicitly: no fault injector (a
+        :class:`~repro.faults.FaultPlan` must see every hop simulated),
+        the machine's ``fast_wire`` switch on, and tracing/metrics off
+        (observability wants the real spans and gauges).  Even then the
+        message only takes this path when the transmit engine, every
+        route link *at this instant*, and the receive engine can all be
+        timestamp-booked — any contention rolls the bookings back and
+        returns ``False``, and the caller runs the full wire pipeline.
+
+        When it succeeds, the wire end is the max of the three booked
+        leg ends — exactly when ``all_of`` over the three concurrent
+        leg processes would have fired — and two plain events replace
+        the four processes and their resource protocol: a *landing*
+        event at the wire end (where the delivery jitter is drawn, at
+        the same simulated time as the full path draws it) and a
+        *deliver* event after the kernel dispatch latency.
+        """
+        machine = self.machine
+        if machine.injector is not None or not machine.fast_wire or \
+                machine.tracer.enabled or machine.metrics.enabled:
+            return False
+        env = self.env
+        src_node = machine.nodes[src]
+        dst_node = machine.nodes[dst]
+        # The transmit and receive engines are booked first: the leg
+        # processes of the full path occupy them from this instant
+        # independently of the fabric, and — on the SP2, whose
+        # half-duplex adapter shares one engine — transmit before
+        # receive, the full path's leg spawn order.  The engines and
+        # the route links are disjoint resources, so booking both
+        # engines before trying the route preserves every per-resource
+        # FIFO order.
+        tx = src_node.nic.try_book_transmit(nbytes, fast=fast)
+        if tx is None:
+            return False
+        fast_rx = dst_node.payload_mode(self.spec.uses_dma_for(op),
+                                        nbytes) is not TransferMode.HOST
+        rx = dst_node.nic.try_book_receive(nbytes, fast=fast_rx)
+        if rx is None:
+            tx[1].undo_occupy(tx[2])
+            return False
+        src_node.nic.commit_transmit()
+        dst_node.nic.commit_receive()
+        work = env.work
+        if work is not None:
+            work.resource_occupancies += 2  # the two engine bookings
+        routed = machine.fabric.try_book_route(src, dst, nbytes)
+        if routed is None:
+            # Route contended: the engine bookings stand (the full
+            # path's engine legs run concurrently with the fabric leg
+            # anyway) and only the fabric part is simulated, by a lean
+            # process that queues in the link FIFOs like any other.
+            env.process(self._wire_contended(src, dst, nbytes, tag,
+                                             tx[0], rx[0]))
+            return True
+        hold, bookings = routed
+        machine.fabric.commit_route(bookings, nbytes, hold)
+        now = env._now
+        wire_end = tx[0]
+        if now + hold > wire_end:
+            wire_end = now + hold
+        if rx[0] > wire_end:
+            wire_end = rx[0]
+        envelope = Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes,
+                            sent_at=now)
+        landing = Event(env)
+        landing._ok = True
+        landing._value = envelope
+        landing.callbacks.append(self._wire_fast_landed)
+        env._schedule(landing, wire_end, NORMAL)
+        return True
+
+    def _wire_contended(self, src: int, dst: int, nbytes: int,
+                        tag: object, tx_end: float, rx_end: float
+                        ) -> Generator[Event, None, None]:
+        """Wire pipeline for a short-circuit-eligible message whose
+        route was busy: the engine ends are already booked/known, the
+        fabric transfer is simulated (waiting in link queues), and the
+        wire ends when the slowest of the three is done — exactly when
+        the full path's ``all_of`` over the legs would have fired."""
+        env = self.env
+        envelope = Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes,
+                            sent_at=env._now)
+        yield from self.machine.fabric.transfer(src, dst, nbytes)
+        wire_end = tx_end if tx_end > rx_end else rx_end
+        if wire_end > env._now:
+            yield env.sleep_until(wire_end)
+        yield env.sleep(self.spec.software.deliver_us *
+                        self.machine.jitter(dst))
+        envelope.delivered_at = env._now
+        self._deliver(envelope)
+
+    def _wire_fast_landed(self, event: Event) -> None:
+        """The message's tail has left the network: draw the delivery
+        jitter (at the same simulated time the full path draws it) and
+        schedule the actual delivery."""
+        envelope = event._value
+        env = self.env
+        deliver = Event(env)
+        deliver._ok = True
+        deliver._value = envelope
+        deliver.callbacks.append(self._deliver_fast)
+        delay = self.spec.software.deliver_us * \
+            self.machine.jitter(envelope.dst)
+        env._schedule(deliver, env._now + delay, NORMAL)
+
+    def _deliver_fast(self, event: Event) -> None:
+        envelope = event._value
+        envelope.delivered_at = self.env._now
+        self._deliver(envelope)
 
     def _wire(self, src: int, dst: int, nbytes: int, tag: object,
               op: str, fast: bool, span: Optional[Span] = None,
@@ -149,7 +268,7 @@ class Transport:
         else:
             yield from self._wire_reliably(injector, src, dst, nbytes,
                                            tag, op, fast, span)
-        yield self.env.timeout(
+        yield self.env.sleep(
             self.spec.software.deliver_us * self.machine.jitter(dst))
         envelope.delivered_at = self.env.now
         tracer = self.machine.tracer
@@ -252,10 +371,10 @@ class Transport:
                                           "backoff", node=src, parent=span,
                                           dst=dst, attempt=attempt,
                                           rto_us=rto)
-                    yield self.env.timeout(rto - wire_us)
+                    yield self.env.sleep(rto - wire_us)
                     tracer.end(sitout, self.env.now)
                 else:
-                    yield self.env.timeout(rto - wire_us)
+                    yield self.env.sleep(rto - wire_us)
             if attempt + 1 < attempts:
                 injector.record_retransmit()
                 work = self.env.work
@@ -338,14 +457,14 @@ class Transport:
         software = self.spec.software
         node = self.machine.nodes[rank]
         if sw_cost_us is not None:
-            yield self.env.timeout(sw_cost_us * self.machine.jitter(rank))
+            yield self.env.sleep(sw_cost_us * self.machine.jitter(rank))
             return envelope
         cost = software.recv_msg_us
         if buffered:
             cost += software.buffered_msg_us
         if receive.was_unexpected:
             cost += software.unexpected_us
-        yield self.env.timeout(cost * self.machine.jitter(rank))
+        yield self.env.sleep(cost * self.machine.jitter(rank))
         if envelope.nbytes > 0:
             # Eager protocol: a message that found its receive posted
             # was deposited straight into the user buffer; an

@@ -39,10 +39,12 @@ class MpiWorld:
                  seed: int = 0, contention: bool = True,
                  trace: bool = False, metrics: bool = False,
                  cpu_slowdown: Optional[dict] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 scheduler: Optional[str] = None,
+                 fast_wire: bool = True):
         spec = get_machine_spec(machine) if isinstance(machine, str) \
             else machine
-        self.env = Environment()
+        self.env = Environment(scheduler=scheduler)
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(enabled=trace)
         self.metrics = MetricsRegistry(enabled=metrics)
@@ -50,7 +52,8 @@ class MpiWorld:
                                streams=self.streams, tracer=self.tracer,
                                contention=contention,
                                cpu_slowdown=cpu_slowdown,
-                               metrics=self.metrics, faults=faults)
+                               metrics=self.metrics, faults=faults,
+                               fast_wire=fast_wire)
         self.comm = Communicator(self.machine)
 
     @property

@@ -30,6 +30,10 @@ from ..sim import Environment, Event, Interrupt, Span, Tracer
 from .link import Link, LinkParameters
 from .topology import LinkId, Topology
 
+#: A rolled-back-able set of link bookings: ``(link, previous_busy_until)``
+#: per link, in canonical acquisition order.
+RouteBooking = List[Tuple[Link, float]]
+
 __all__ = ["NetworkFabric", "TransferAborted"]
 
 
@@ -70,6 +74,19 @@ class NetworkFabric:
         for index, link_id in enumerate(topology.links()):
             self._links[link_id] = Link(env, link_id, params)
             self._order[link_id] = index
+        # The topology's primary routes are static; computing one per
+        # transfer (positions/turns math) shows up hard in alltoall.
+        # Detours around dead links are computed fresh every time.
+        self._route_cache: Dict[Tuple[int, int], List[LinkId]] = {}
+
+    def _route(self, src: int, dst: int) -> List[LinkId]:
+        """The (cached) fault-free route for ``src`` -> ``dst``."""
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self.topology.route(src, dst)
+            self._route_cache[key] = route
+        return route
 
     def link(self, link_id: LinkId) -> Link:
         """The :class:`Link` object for ``link_id``."""
@@ -89,9 +106,9 @@ class NetworkFabric:
         the pair."""
         injector = self.injector
         if injector is None:
-            return self.topology.route(src, dst), False
+            return self._route(src, dst), False
         dead = injector.dead_links(self.env.now)
-        route = self.topology.route(src, dst)
+        route = self._route(src, dst)
         if not dead or not any(link in dead for link in route):
             return route, False
         detour = self.topology.reroute(src, dst, dead)
@@ -100,6 +117,61 @@ class NetworkFabric:
             raise TransferAborted(src, dst, "no live route")
         injector.record_reroute()
         return detour, True
+
+    # -- synchronous fast-path booking ------------------------------------
+    def try_book_route(self, src: int, dst: int, nbytes: int
+                       ) -> Optional[Tuple[float, RouteBooking]]:
+        """Book every link of an *uncontended* transfer starting now.
+
+        Synchronous counterpart of :meth:`transfer` for the analytic
+        short-circuit: only callable with no fault injector attached
+        (the caller checks), and only succeeds when every link on the
+        route is idle at the current instant — any busy or booked link
+        rolls the whole attempt back and returns ``None``, forcing the
+        full simulation path (which is where contention waits, stall
+        counters, and spans live).  Returns ``(hold, bookings)``; the
+        caller must finish with :meth:`commit_route` (success) or
+        :meth:`undo_route` (a later leg of its own booking failed).
+        No counters or link statistics are touched until commit.
+        """
+        route = self._route(src, dst)
+        if not route:
+            return 0.0, []
+        hold = len(route) * self.params.hop_latency_us + \
+            nbytes * self.params.us_per_byte
+        if not self.contention:
+            return hold, []
+        now = self.env._now
+        bookings: RouteBooking = []
+        for link_id in sorted(route, key=self._order.__getitem__):
+            link = self._links[link_id]
+            booking = link.resource.try_occupy(hold)
+            if booking is None or booking[0] != now:
+                if booking is not None:
+                    link.resource.undo_occupy(booking[1])
+                self.undo_route(bookings)
+                return None
+            bookings.append((link, booking[1]))
+        return hold, bookings
+
+    def undo_route(self, bookings: RouteBooking) -> None:
+        """Roll back a :meth:`try_book_route` booking (synchronously)."""
+        for link, previous in reversed(bookings):
+            link.resource.undo_occupy(previous)
+
+    def commit_route(self, bookings: RouteBooking, nbytes: int,
+                     hold: float) -> None:
+        """Commit a booking: link statistics and work counters."""
+        for link, _ in bookings:
+            link.record(nbytes, busy_us=hold)
+        work = self.env.work
+        if work is not None:
+            if bookings:
+                work.link_acquisitions += len(bookings)
+                work.resource_occupancies += len(bookings)
+            work.transfers_booked += 1
+            work.transfers_completed += 1
+            work.transfers_shortcircuited += 1
 
     def transfer(self, src: int, dst: int, nbytes: int,
                  parent_span: Optional[Span] = None
@@ -179,11 +251,43 @@ class NetworkFabric:
         exception propagates, so a dying transfer never wedges a link."""
         work = self.env.work
         if not self.contention:
-            yield self.env.timeout(hold)
+            yield self.env.sleep(hold)
             if work is not None:
                 work.transfers_completed += 1
             return
         ordered = sorted(route, key=self._order.__getitem__)
+        if self.injector is None and not self.tracer.enabled and \
+                not self.metrics.enabled:
+            # Batched booking: with every link on the route idle right
+            # now (the common case) the whole multi-hop occupancy is
+            # one synchronous booking plus ONE completion event,
+            # instead of per-hop request/grant/release churn.  Any
+            # busy link falls through to the per-hop protocol below,
+            # which is where waiting and stall accounting live.  No
+            # injector means no Interrupt can arrive mid-hold, so the
+            # bookings never need to be torn down early.
+            now = self.env._now
+            bookings: RouteBooking = []
+            for link_id in ordered:
+                link = self._links[link_id]
+                booking = link.resource.try_occupy(hold)
+                if booking is None or booking[0] != now:
+                    if booking is not None:
+                        link.resource.undo_occupy(booking[1])
+                    self.undo_route(bookings)
+                    bookings = None  # type: ignore[assignment]
+                    break
+                bookings.append((link, booking[1]))
+            if bookings is not None:
+                if work is not None:
+                    work.link_acquisitions += len(bookings)
+                    work.resource_occupancies += len(bookings)
+                yield self.env.sleep(hold)
+                for link, _ in bookings:
+                    link.record(nbytes, busy_us=hold)
+                if work is not None:
+                    work.transfers_completed += 1
+                return
         requests: List[Tuple[LinkId, Event]] = []
         occupancy: List[Span] = []
         queued_at = self.env.now
@@ -217,7 +321,7 @@ class NetworkFabric:
                                       "link", node=src, parent=parent_span,
                                       dst=dst, nbytes=nbytes)
                     for link_id, _ in requests]
-            yield self.env.timeout(hold)
+            yield self.env.sleep(hold)
         except Interrupt:
             for link_id, request in requests:
                 self._links[link_id].resource.release(request)

@@ -46,6 +46,19 @@ class MemorySystem:
         """Process generator: copy ``nbytes`` through the memory bus."""
         if nbytes < 0:
             raise ValueError(f"negative copy size {nbytes}")
+        env = self.env
+        if not self.metrics.enabled:
+            # Bus idle or contiguously booked: book the interval and
+            # sleep to its end instead of request/grant/release.
+            duration = nbytes * self.copy_us_per_byte
+            booking = self.bus.try_occupy(duration)
+            if booking is not None:
+                work = env.work
+                if work is not None:
+                    work.resource_occupancies += 1
+                yield env.sleep_until(booking[0] + duration)
+                self.bytes_copied += nbytes
+                return
         request = self.bus.request()
         metrics = self.metrics
         if metrics.enabled:
@@ -54,7 +67,7 @@ class MemorySystem:
             metrics.counter("mem.copies").inc()
             metrics.counter("mem.bytes_copied").inc(nbytes)
         yield request
-        yield self.env.timeout(nbytes * self.copy_us_per_byte)
+        yield env.sleep(nbytes * self.copy_us_per_byte)
         self.bytes_copied += nbytes
         self.bus.release(request)
 

@@ -14,7 +14,7 @@ source-side serialization in scatter.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..sim import Environment, Event, Resource
@@ -68,6 +68,53 @@ class Nic:
         per_byte = self.fast_us_per_byte if fast else self.us_per_byte
         return self.per_message_us + nbytes * per_byte
 
+    # -- synchronous booking fast path ------------------------------------
+    def try_book_transmit(self, nbytes: int, fast: bool = False
+                          ) -> Optional[Tuple[float, Resource, float]]:
+        """Timestamp-book the transmit engine for one message.
+
+        Returns ``(end_time, engine, previous_busy_until)`` — the
+        latter two so the caller can roll back with
+        ``engine.undo_occupy(previous)`` — or ``None`` when the engine
+        has queued/granted requests and the protocol path must be used.
+        The booking may start at the end of an earlier booking (the
+        engine stays contiguously busy), exactly where a queued request
+        would have been granted, so the end time is unchanged from full
+        simulation.  Commit with :meth:`commit_transmit`.
+        """
+        return self._try_book(self._tx, nbytes, fast)
+
+    def try_book_receive(self, nbytes: int, fast: bool = False
+                         ) -> Optional[Tuple[float, Resource, float]]:
+        """Timestamp-book the receive engine (see :meth:`try_book_transmit`).
+
+        On a half-duplex adapter this is the *same* engine as transmit,
+        so a transmit booked first pushes the receive booking after it
+        — the FIFO order the concurrent wire legs would have produced.
+        """
+        return self._try_book(self._rx, nbytes, fast)
+
+    def _try_book(self, engine: Resource, nbytes: int, fast: bool
+                  ) -> Optional[Tuple[float, Resource, float]]:
+        if self.injector is not None or self.metrics.enabled:
+            return None
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        duration = self.occupancy_us(nbytes, fast)
+        booking = engine.try_occupy(duration)
+        if booking is None:
+            return None
+        start, previous = booking
+        return start + duration, engine, previous
+
+    def commit_transmit(self) -> None:
+        """Account one fast-booked transmit."""
+        self.messages_sent += 1
+
+    def commit_receive(self) -> None:
+        """Account one fast-booked receive."""
+        self.messages_received += 1
+
     def transmit(self, nbytes: int,
                  fast: bool = False) -> Generator[Event, None, None]:
         """Process generator: occupy the transmit engine for one message."""
@@ -84,6 +131,18 @@ class Nic:
                 label: str) -> Generator[Event, None, None]:
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
+        env = self.env
+        if self.injector is None and not self.metrics.enabled:
+            # Engine idle or contiguously booked: one booking + one
+            # completion event instead of request/grant/release churn.
+            duration = self.occupancy_us(nbytes, fast)
+            booking = engine.try_occupy(duration)
+            if booking is not None:
+                work = env.work
+                if work is not None:
+                    work.resource_occupancies += 1
+                yield env.sleep_until(booking[0] + duration)
+                return
         request = engine.request()
         metrics = self.metrics
         if metrics.enabled:
@@ -98,6 +157,6 @@ class Nic:
             # The injector records faults.nic_stall* metrics itself.
             stall = self.injector.nic_delay(self.node_index, self.env.now)
             if stall > 0:
-                yield self.env.timeout(stall)
-        yield self.env.timeout(self.occupancy_us(nbytes, fast))
+                yield env.sleep(stall)
+        yield env.sleep(self.occupancy_us(nbytes, fast))
         engine.release(request)

@@ -40,13 +40,15 @@ WORK_COUNTERS: Tuple[str, ...] = (
     "callbacks_dispatched",  # callback invocations across all events
     "heap_pushes",           # pushes into the pending-event heap
     "heap_pops",             # pops off the pending-event heap
-    "heap_peak",             # high-water mark of the heap depth
+    "heap_peak",             # high-water mark of metered queue depth
+                             # (pushes minus pops while attached)
     "interrupts",            # Process.interrupt deliveries
     # -- resources (repro.sim.resources) -------------------------------
     "resource_requests",       # Resource.request calls
     "resource_grants",         # requests granted (immediately or later)
     "resource_releases",       # grants returned
     "resource_cancellations",  # requests released before being granted
+    "resource_occupancies",    # synchronous try_occupy bookings taken
     "store_puts",              # Store/FilterStore items deposited
     "store_gets",              # Store/FilterStore get events created
     # -- fabric (repro.network.fabric) ----------------------------------
@@ -55,6 +57,7 @@ WORK_COUNTERS: Tuple[str, ...] = (
     "transfers_aborted",     # transfers killed by a mid-flight fault
     "transfers_stalled",     # transfers that queued behind a busy link
     "transfers_rerouted",    # transfers detoured around dead links
+    "transfers_shortcircuited",  # transfers booked on the analytic fast path
     "link_acquisitions",     # individual link grants across all routes
     # -- transport (repro.mpi.transport) --------------------------------
     "messages_sent",         # Transport.send calls issued

@@ -15,12 +15,24 @@ Two runs with the same inputs produce identical event orderings: ties in
 time are broken first by an explicit integer priority and then by a
 monotonically increasing event id.  All randomness in higher layers goes
 through the seeded streams in :mod:`repro.sim.rng`.
+
+Performance
+-----------
+Every class on the hot path uses ``__slots__``; the pending-event queue
+is pluggable (:mod:`repro.sim.scheduler` — binary heap or calendar
+queue, identical ``(time, priority, eid)`` ordering); and
+:meth:`Environment.sleep` hands out pooled one-shot timeouts so the
+dominant fire-and-forget delay pattern does not allocate.  The
+differential-equivalence suite (``tests/sim/test_scheduler_equivalence``)
+is what licenses these shortcuts: it asserts both schedulers produce
+byte-identical event logs and work counters.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .scheduler import EventScheduler, make_scheduler
 
 __all__ = [
     "SIM_VERSION",
@@ -49,6 +61,9 @@ NORMAL = 1
 #: Priority for events that must fire before same-time NORMAL events.
 URGENT = 0
 
+#: Maximum number of recycled :meth:`Environment.sleep` timeouts kept.
+_SLEEP_POOL_LIMIT = 256
+
 
 class SimulationError(Exception):
     """Raised for violations of engine invariants (e.g. double trigger)."""
@@ -74,6 +89,16 @@ class StopProcess(Exception):
         self.value = value
 
 
+#: Single source of truth for the premature-access error so both
+#: ``Event.ok`` and ``Event.value`` fail with one consistent message.
+_UNTRIGGERED = "event has not been triggered yet"
+
+
+def _untriggered_error(event: "Event", accessor: str) -> SimulationError:
+    return SimulationError(
+        f"{type(event).__name__}.{accessor} is unreadable: {_UNTRIGGERED}")
+
+
 class Event:
     """A one-shot occurrence other processes can wait on.
 
@@ -83,6 +108,8 @@ class Event:
     the event's ``value`` — or have the stored exception re-raised inside
     them if the event failed.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -106,14 +133,14 @@ class Event:
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
         if self._ok is None:
-            raise SimulationError("event has not been triggered yet")
+            raise _untriggered_error(self, "ok")
         return self._ok
 
     @property
     def value(self) -> Any:
         """The value the event fired with (or its exception)."""
         if self._ok is None:
-            raise SimulationError("event has not been triggered yet")
+            raise _untriggered_error(self, "value")
         return self._value
 
     # -- triggering --------------------------------------------------------
@@ -123,7 +150,7 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, self.env.now, priority)
+        self.env._schedule(self, self.env._now, priority)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -139,7 +166,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, self.env.now, priority)
+        self.env._schedule(self, self.env._now, priority)
         return self
 
     def defused(self) -> "Event":
@@ -159,6 +186,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None,
                  priority: int = NORMAL):
         if delay < 0:
@@ -167,18 +196,33 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.delay = delay
-        env._schedule(self, env.now + delay, priority)
+        env._schedule(self, env._now + delay, priority)
+
+
+class _SleepTimeout(Timeout):
+    """A pooled :class:`Timeout` recycled by the run loop.
+
+    Handed out by :meth:`Environment.sleep` for the engine-internal
+    fire-and-forget pattern (``yield env.sleep(delay)`` with the event
+    never stored, composed, or re-waited).  Because no reference can
+    survive its firing, the dispatch loop returns it to the pool —
+    turning the dominant allocation of every simulation into a pop.
+    """
+
+    __slots__ = ()
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._ok = True
         self._value = None
         self.callbacks.append(process._resume)
-        env._schedule(self, env.now, URGENT)
+        env._schedule(self, env._now, URGENT)
 
 
 class Process(Event):
@@ -188,6 +232,8 @@ class Process(Event):
     generator returns (with the return value / :class:`StopProcess`
     value), so processes can wait on each other by yielding a process.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: Optional[str] = None):
@@ -210,7 +256,7 @@ class Process(Event):
         The event the process was waiting on stays pending; the process
         may re-wait on it after handling the interrupt.
         """
-        if not self.is_alive:
+        if self._ok is not None:
             raise SimulationError(f"{self.name} has already terminated")
         if self._target is None:
             raise SimulationError(f"{self.name} is not waiting on anything")
@@ -222,58 +268,61 @@ class Process(Event):
         work = self.env.work
         if work is not None:
             work.interrupts += 1
-        self.env._schedule(interrupt_event, self.env.now, URGENT)
+        self.env._schedule(interrupt_event, self.env._now, URGENT)
 
     # -- generator stepping -------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's outcome."""
-        if not self.is_alive:
+        if self._ok is not None:
             return
         # Detach from the event we were waiting on (if any).
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._target = None
-        if event._ok:
-            self._step(lambda: self._generator.send(event._value))
-        else:
+        throwing = not event._ok
+        if throwing:
             event._defused = True
-            self._step(lambda: self._generator.throw(event._value))
+        self._step(event._value, throwing)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, payload: Any, throwing: bool) -> None:
         """Run one generator step, re-stepping while yields are invalid."""
+        env = self.env
+        generator = self._generator
         while True:
-            self.env._active_process = self
+            env._active_process = self
             try:
-                target = advance()
+                if throwing:
+                    target = generator.throw(payload)
+                else:
+                    target = generator.send(payload)
             except StopIteration as exc:
                 self._finish(True, exc.value)
                 return
             except StopProcess as exc:
-                self._generator.close()
+                generator.close()
                 self._finish(True, exc.value)
                 return
             except BaseException as exc:
                 self._finish(False, exc)
                 return
             finally:
-                self.env._active_process = None
-            problem = self._validate_target(target)
-            if problem is None:
-                self._wait_on(target)
-                return
-            advance = lambda exc=problem: self._generator.throw(exc)  # noqa: E731
-
-    def _validate_target(self, target: Any) -> Optional[BaseException]:
-        if not isinstance(target, Event):
-            return TypeError(f"process {self.name} yielded {target!r}, "
-                             "which is not an Event")
-        if target.env is not self.env:
-            return SimulationError(
-                "yielded event belongs to another Environment")
-        return None
+                env._active_process = None
+            if isinstance(target, Event):
+                if target.env is env:
+                    self._wait_on(target)
+                    return
+                throwing = True
+                payload = SimulationError(
+                    "yielded event belongs to another Environment")
+            else:
+                throwing = True
+                payload = TypeError(
+                    f"process {self.name} yielded {target!r}, "
+                    "which is not an Event")
 
     def _wait_on(self, target: Event) -> None:
         if target.callbacks is None:
@@ -285,7 +334,7 @@ class Process(Event):
                 target._defused = True
                 passthrough._defused = True
             passthrough.callbacks.append(self._resume)
-            self.env._schedule(passthrough, self.env.now, URGENT)
+            self.env._schedule(passthrough, self.env._now, URGENT)
             self._target = passthrough
         else:
             target.callbacks.append(self._resume)
@@ -294,7 +343,7 @@ class Process(Event):
     def _finish(self, ok: bool, value: Any) -> None:
         self._ok = ok
         self._value = value
-        self.env._schedule(self, self.env.now, NORMAL)
+        self.env._schedule(self, self.env._now, NORMAL)
 
 
 class Condition(Event):
@@ -303,6 +352,8 @@ class Condition(Event):
     The value of a fired condition is an ordered dict-like list of
     ``(event, value)`` pairs for events that had triggered by then.
     """
+
+    __slots__ = ("_events", "_predicate", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  predicate: Callable[[int, int], bool]):
@@ -325,7 +376,7 @@ class Condition(Event):
                 event.callbacks.append(self._observe)
 
     def _observe(self, event: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if not event._ok:
             event._defused = True
@@ -338,11 +389,13 @@ class Condition(Event):
     def _collect(self) -> List[Tuple[Event, Any]]:
         return [(event, event._value)
                 for event in self._events
-                if event.triggered and event._ok]
+                if event._ok is not None and event._ok]
 
 
 class AllOf(Condition):
     """Condition that fires when *all* events have fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda done, total: done >= total)
@@ -350,6 +403,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Condition that fires as soon as *any* event fires."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda done, total: done >= 1)
@@ -360,13 +415,28 @@ class Environment:
 
     Time is a float; this package uses **microseconds** throughout, the
     unit the paper reports latencies in.
+
+    ``scheduler`` selects the pending-event queue implementation: a
+    name from :data:`repro.sim.scheduler.SCHEDULERS` (``"heap"`` or
+    ``"calendar"``), an :class:`~repro.sim.scheduler.EventScheduler`
+    instance, or ``None`` for the process default (the
+    ``REPRO_SIM_SCHEDULER`` environment variable, else the heap).  Both
+    implementations honor the same ``(time, priority, eid)`` ordering
+    contract, so the choice never changes simulation results.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = ("_now", "_eid", "_scheduler", "_push", "_pop",
+                 "_active_process", "_sleep_pool", "profiler", "work")
+
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: Any = None):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
+        self._scheduler: EventScheduler = make_scheduler(scheduler)
+        self._push = self._scheduler.push
+        self._pop = self._scheduler.pop
         self._active_process: Optional[Process] = None
+        self._sleep_pool: List[_SleepTimeout] = []
         #: Optional observer (see :class:`repro.obs.EngineProfiler`)
         #: notified of scheduling, firing, and callback wall-clock.
         #: ``None`` (the default) keeps the hot path to one check.
@@ -386,6 +456,11 @@ class Environment:
         """The process currently being stepped, if any."""
         return self._active_process
 
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the pending-event queue implementation in use."""
+        return self._scheduler.name
+
     # -- event creation helpers ---------------------------------------------
     def event(self) -> Event:
         """Create a new untriggered event."""
@@ -394,6 +469,57 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` microseconds."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """A pooled fire-and-forget timeout (engine-internal fast path).
+
+        Semantically identical to ``timeout(delay)`` — same scheduling,
+        same event-id consumption, same ordering — but the event object
+        is recycled by the dispatch loop after it fires.  The caller
+        MUST yield it immediately and never store it, add callbacks
+        after the yield, pass it to ``all_of``/``any_of``, or re-yield
+        it after an :class:`Interrupt`; its identity and value are only
+        valid until it fires.  User-facing code should keep using
+        :meth:`timeout`.
+        """
+        pool = self._sleep_pool
+        if not pool:
+            return _SleepTimeout(self, delay)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = pool.pop()
+        event.callbacks = []
+        event._value = None
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        self._schedule(event, self._now + delay, NORMAL)
+        return event
+
+    def sleep_until(self, at: float) -> Timeout:
+        """A pooled fire-and-forget timeout at *absolute* time ``at``.
+
+        Same contract and pooling as :meth:`sleep`, but the event fires
+        at exactly ``at`` (which must not be in the past) rather than at
+        ``now + delay`` — the distinction matters to booking fast paths
+        that must land on a pre-computed end time bit-for-bit.
+        """
+        now = self._now
+        if at < now:
+            raise ValueError(f"sleep_until past time {at!r} < {now!r}")
+        pool = self._sleep_pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _SleepTimeout.__new__(_SleepTimeout)
+            event.env = self
+        event.callbacks = []
+        event._value = None
+        event._ok = True
+        event._defused = False
+        event.delay = at - now
+        self._schedule(event, at, NORMAL)
+        return event
 
     def process(self, generator: Generator,
                 name: Optional[str] = None) -> Process:
@@ -413,28 +539,29 @@ class Environment:
         if at < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past ({at} < {self._now})")
-        self._eid += 1
-        heapq.heappush(self._queue, (at, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        self._push((at, priority, eid, event))
         work = self.work
         if work is not None:
             work.events_scheduled += 1
             work.heap_pushes += 1
-            if len(self._queue) > work.heap_peak:
-                work.heap_peak = len(self._queue)
+            # Metered depth: pushes minus pops IS the queue size while
+            # the meter is attached (attach-at-start, the suite's
+            # convention), without a len() call on the hot path.
+            depth = work.heap_pushes - work.heap_pops
+            if depth > work.heap_peak:
+                work.heap_peak = depth
         if self.profiler is not None:
             self.profiler.event_scheduled(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._scheduler.peek_time()
 
-    def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no more events")
-        at, _, _, event = heapq.heappop(self._queue)
-        self._now = at
-        callbacks, event.callbacks = event.callbacks, None
+    def _dispatch(self, event: Event) -> None:
+        """Fire one popped event: run callbacks, recycle, re-raise."""
+        callbacks = event.callbacks
+        event.callbacks = None
         work = self.work
         if work is not None:
             work.events_fired += 1
@@ -454,8 +581,22 @@ class Environment:
                     callback(event)
                 finally:
                     profiler.leave()
-        if not event._ok and not event._defused:
+        if event.__class__ is _SleepTimeout:
+            pool = self._sleep_pool
+            if len(pool) < _SLEEP_POOL_LIMIT:
+                event._value = None
+                pool.append(event)
+        elif not event._ok and not event._defused:
             raise event._value
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            at, _, _, event = self._pop()
+        except IndexError:
+            raise SimulationError("no more events") from None
+        self._now = at
+        self._dispatch(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -468,7 +609,7 @@ class Environment:
         stop_time = float("inf")
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
+            if stop_event.callbacks is None:
                 return stop_event._value
         elif until is not None:
             stop_time = float(until)
@@ -476,18 +617,26 @@ class Environment:
                 raise ValueError(
                     f"until ({stop_time}) is in the past (now={self._now})")
 
-        while self._queue:
-            if self.peek() > stop_time:
+        scheduler = self._scheduler
+        pop = self._pop
+        bounded = stop_time != float("inf")
+        while True:
+            if bounded and scheduler.peek_time() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
+            try:
+                at, _, _, event = pop()
+            except IndexError:
+                break
+            self._now = at
+            self._dispatch(event)
+            if stop_event is not None and stop_event.callbacks is None:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
         if stop_event is not None:
             raise SimulationError(
                 "run() until an event that can no longer fire")
-        if stop_time != float("inf"):
+        if bounded:
             self._now = stop_time
         return None

@@ -8,16 +8,35 @@ Two primitives cover everything the network and node models need:
   transfer duration.
 * :class:`Store` — an unbounded FIFO of items with blocking ``get``.
   Message queues between NICs and the MPI matching layer are stores.
+
+Occupancy fast path
+-------------------
+The request/grant/release protocol costs three events per occupancy.
+For the overwhelmingly common case — a capacity-1 resource that is
+*idle*, held for a known duration, and released untouched — callers can
+instead **timestamp-book** the resource with :meth:`Resource.try_occupy`:
+no events, no :class:`Request` object, just ``_busy_until`` advanced by
+the hold time.  Bookings are only handed out while no requests are
+queued or granted, and always extend contiguously from ``now`` (or from
+the previous booking's end), so a booked resource is busy over exactly
+the interval a request-holding process would have kept it.  A classic
+``request()`` arriving during a booked interval queues exactly as if a
+process held the resource, and a wakeup event grants the FIFO head when
+the booking expires — at the same simulated time a real release would
+have.  The differential-equivalence suite asserts this produces
+identical times to the pure request/release protocol.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Callable, Deque, Optional, Tuple
 
-from .engine import Environment, Event, SimulationError
+from .engine import NORMAL, Environment, Event, SimulationError
 
 __all__ = ["Resource", "Request", "Store", "FilterStore"]
+
+_NEVER = float("-inf")
 
 
 class Request(Event):
@@ -26,6 +45,8 @@ class Request(Event):
     Fires (succeeds) when the resource grants it.  Must be returned via
     :meth:`Resource.release` when the holder is done.
     """
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
@@ -46,6 +67,8 @@ class Resource:
     engine's deterministic event ordering.
     """
 
+    __slots__ = ("env", "capacity", "_waiting", "_users", "_busy_until")
+
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -53,6 +76,9 @@ class Resource:
         self.capacity = capacity
         self._waiting: Deque[Request] = deque()
         self._users: set = set()
+        #: End of the current timestamp booking (see :meth:`try_occupy`);
+        #: the resource behaves as busy while ``_busy_until > now``.
+        self._busy_until = _NEVER
 
     @property
     def count(self) -> int:
@@ -64,6 +90,61 @@ class Resource:
         """Number of requests waiting for a grant."""
         return len(self._waiting)
 
+    @property
+    def booked_until(self) -> float:
+        """End of the current timestamp booking (``-inf`` when none)."""
+        return self._busy_until
+
+    # -- timestamp-booking fast path --------------------------------------
+    def try_occupy(self, duration: float) -> Optional[Tuple[float, float]]:
+        """Book this resource for ``duration`` without events.
+
+        Only possible on an idle capacity-1 resource (no users, no
+        waiters).  The booking starts at ``now`` — or, back-to-back
+        with an earlier booking, at that booking's end, which is
+        exactly when a queued request would have been granted.  Returns
+        ``(start, previous_busy_until)`` so the caller can compute the
+        end time and roll the booking back with :meth:`undo_occupy`
+        (restoring ``previous_busy_until``) if a multi-resource booking
+        fails partway.  Returns ``None`` when the protocol path must be
+        used instead.
+        """
+        if self.capacity != 1 or self._users or self._waiting:
+            return None
+        now = self.env._now
+        prev = self._busy_until
+        start = prev if prev > now else now
+        self._busy_until = start + duration
+        return start, prev
+
+    def undo_occupy(self, previous_busy_until: float) -> None:
+        """Roll back the most recent :meth:`try_occupy` booking.
+
+        Only valid immediately after the booking, within the same
+        synchronous block (no simulated time may have passed and no
+        further bookings or requests may have been made).
+        """
+        self._busy_until = previous_busy_until
+
+    def _schedule_wakeup(self) -> None:
+        """Grant the FIFO head when the active booking expires."""
+        event = Event(self.env)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(self._wake)
+        self.env._schedule(event, self._busy_until, NORMAL)
+
+    def _wake(self, _event: Event) -> None:
+        if self._waiting and len(self._users) < self.capacity and \
+                self._busy_until <= self.env._now:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            work = self.env.work
+            if work is not None:
+                work.resource_grants += 1
+            nxt.succeed(nxt)
+
+    # -- request/grant/release protocol -----------------------------------
     def request(self) -> Request:
         """Claim one unit; the returned event fires when granted."""
         profiler = self.env.profiler
@@ -81,10 +162,18 @@ class Resource:
         if work is not None:
             work.resource_requests += 1
         if len(self._users) < self.capacity:
-            if work is not None:
-                work.resource_grants += 1
-            self._users.add(req)
-            req.succeed(req)
+            if self._busy_until > self.env._now:
+                # A timestamp booking holds the resource: queue exactly
+                # as behind a granted request, and let the booking-end
+                # wakeup play the role of the holder's release.
+                if not self._waiting:
+                    self._schedule_wakeup()
+                self._waiting.append(req)
+            else:
+                if work is not None:
+                    work.resource_grants += 1
+                self._users.add(req)
+                req.succeed(req)
         else:
             self._waiting.append(req)
         return req
@@ -131,10 +220,12 @@ class Store:
     fires with the oldest item once one is available.
     """
 
+    __slots__ = ("env", "_items", "_getters")
+
     def __init__(self, env: Environment):
         self.env = env
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._getters: Optional[Deque[Event]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -176,10 +267,12 @@ class FilterStore(Store):
     the oldest message outright.
     """
 
+    __slots__ = ("_filter_getters",)
+
     def __init__(self, env: Environment):
         super().__init__(env)
         self._filter_getters: Deque[tuple] = deque()
-        self._getters = None  # type: ignore[assignment]  # unused here
+        self._getters = None  # unused here
 
     def put(self, item: Any) -> None:
         work = self.env.work

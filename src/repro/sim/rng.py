@@ -32,10 +32,17 @@ class RandomStreams:
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the generator for ``name``."""
-        if name not in self._streams:
-            self._streams[name] = np.random.default_rng(
-                _derive_seed(self.master_seed, name))
-        return self._streams[name]
+        try:
+            return self._streams[name]
+        except KeyError:
+            # Generator(PCG64(seed)) builds the same stream as
+            # default_rng(seed) (verified bit-for-bit) without the
+            # extra seed-spawning bookkeeping — machine construction
+            # creates thousands of streams for large node counts.
+            generator = np.random.Generator(np.random.PCG64(
+                _derive_seed(self.master_seed, name)))
+            self._streams[name] = generator
+            return generator
 
     def jitter(self, name: str, relative_sigma: float) -> float:
         """One multiplicative jitter factor centred on 1.0, clipped > 0.

@@ -1,0 +1,290 @@
+"""Pluggable pending-event schedulers for the simulation engine.
+
+The engine keeps every scheduled event in one priority queue ordered by
+the tuple ``(time, priority, eid)`` — time first, then an explicit
+integer priority (:data:`~repro.sim.engine.URGENT` before
+:data:`~repro.sim.engine.NORMAL`), then the monotonically increasing
+event id that makes ties deterministic.  That *ordering contract* is
+the whole determinism story of the simulator, so it is owned by the
+queue implementation and nothing else.
+
+Two implementations are provided:
+
+* :class:`HeapScheduler` — a binary heap (:mod:`heapq`), the default.
+  O(log n) push/pop with very low constants (heapq is C).
+* :class:`CalendarQueueScheduler` — a classic calendar queue
+  [R. Brown, CACM 1988]: a wheel of time buckets, each a small binary
+  heap, resized and re-widthed as the population changes.  O(1)
+  amortized push/pop when event times are roughly uniform, which is
+  the common case for the staggered message traffic the MPI layer
+  generates.
+
+Both order strictly by the same ``(time, priority, eid)`` tuple, so a
+run produces **byte-identical event orderings under either scheduler**
+— the property ``tests/sim/test_scheduler_equivalence.py`` asserts on
+randomized process/resource/transfer graphs.
+
+Selection is per-:class:`~repro.sim.engine.Environment` (the
+``scheduler=`` argument) with the process-wide default taken from the
+``REPRO_SIM_SCHEDULER`` environment variable (``heap`` when unset).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from heapq import heappop, heappush
+from typing import Any, List, Tuple
+
+__all__ = [
+    "SCHEDULERS",
+    "EventScheduler",
+    "HeapScheduler",
+    "CalendarQueueScheduler",
+    "default_scheduler_name",
+    "make_scheduler",
+]
+
+#: One queue entry: ``(time, priority, eid, event)``.  Plain tuples so
+#: ordering is native tuple comparison (fast, and identical everywhere).
+Entry = Tuple[float, int, int, Any]
+
+
+class EventScheduler:
+    """Ordering contract shared by every scheduler implementation.
+
+    ``push`` accepts an entry, ``pop`` returns the globally smallest
+    entry by ``(time, priority, eid)``, ``peek_time`` reports the next
+    entry's time without removing it.  Implementations must be fully
+    deterministic: no randomness, no iteration-order dependence.
+    """
+
+    __slots__ = ()
+
+    name: str = "abstract"
+
+    def push(self, entry: Entry) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Entry:
+        raise NotImplementedError
+
+    def peek_time(self) -> float:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HeapScheduler(EventScheduler):
+    """The single binary heap the engine has always used.
+
+    ``push`` and ``pop`` are instance attributes bound to
+    :func:`functools.partial` over the raw heap: the engine calls them
+    once per event, and a C-level partial skips the Python method frame
+    a ``def push`` would cost.
+    """
+
+    __slots__ = ("_heap", "push", "pop")
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+        self.push = partial(heappush, self._heap)
+        self.pop = partial(heappop, self._heap)
+
+    def peek_time(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarQueueScheduler(EventScheduler):
+    """A calendar queue: a wheel of day buckets, one year per lap.
+
+    Entries land in ``bucket = floor(time / width) % nbuckets``; a
+    bucket is a small heap, so entries that share a bucket still pop in
+    exact ``(time, priority, eid)`` order.  ``pop`` walks the wheel
+    from the current day, taking the head entry only if it belongs to
+    the current year (otherwise it is a future lap and the walk
+    continues); a full fruitless lap falls back to a direct scan for
+    the global minimum and re-synchronizes the calendar there.
+
+    The wheel doubles/halves and re-derives its bucket width from the
+    observed spread of pending event times whenever the population
+    crosses the classic 2x / 0.5x thresholds.  All resizing decisions
+    are deterministic functions of the queue contents.
+    """
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_size",
+                 "_cursor", "_cursor_top", "_last_time")
+
+    name = "calendar"
+
+    #: Wheel size bounds: small enough to rebuild cheaply, large enough
+    #: that a p=1024 collective's event population stays ~O(1) a bucket.
+    _MIN_BUCKETS = 8
+    _MAX_BUCKETS = 1 << 16
+
+    def __init__(self, bucket_width: float = 1.0,
+                 bucket_count: int = 8) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be > 0, got "
+                             f"{bucket_width}")
+        if bucket_count < 1:
+            raise ValueError(f"bucket count must be >= 1, got "
+                             f"{bucket_count}")
+        self._size = 0
+        self._last_time = 0.0
+        self._init_wheel(bucket_count, bucket_width)
+
+    # -- wheel plumbing ---------------------------------------------------
+    def _init_wheel(self, nbuckets: int, width: float) -> None:
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        self._resync(self._last_time)
+
+    def _resync(self, time: float) -> None:
+        """Point the cursor at the day containing ``time``."""
+        width = self._width
+        day = int(time / width)
+        self._cursor = day % self._nbuckets
+        self._cursor_top = (day + 1) * width
+
+    def _rebuild(self, nbuckets: int) -> None:
+        nbuckets = max(self._MIN_BUCKETS, min(self._MAX_BUCKETS, nbuckets))
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        self._init_wheel(nbuckets, self._derive_width(entries))
+        buckets = self._buckets
+        width = self._width
+        for entry in entries:
+            heappush(buckets[int(entry[0] / width) % nbuckets], entry)
+
+    def _derive_width(self, entries: List[Entry]) -> float:
+        """Deterministic bucket width: the mean gap between the sorted
+        times of (a sample of) the pending entries, clamped positive."""
+        if len(entries) < 2:
+            return max(self._width, 1e-9)
+        times = sorted(entry[0] for entry in entries)
+        sample = times[:64]
+        span = sample[-1] - sample[0]
+        if span <= 0.0:
+            return max(self._width, 1e-9)
+        # Three events per day on average — Brown's classic target.
+        return 3.0 * span / len(sample)
+
+    # -- EventScheduler interface ----------------------------------------
+    def push(self, entry: Entry) -> None:
+        heappush(
+            self._buckets[int(entry[0] / self._width) % self._nbuckets],
+            entry)
+        self._size += 1
+        if self._size > 2 * self._nbuckets and \
+                self._nbuckets < self._MAX_BUCKETS:
+            self._rebuild(2 * self._nbuckets)
+
+    def pop(self) -> Entry:
+        if not self._size:
+            raise IndexError("pop from an empty calendar queue")
+        entry = self._take()
+        self._size -= 1
+        self._last_time = entry[0]
+        if self._size < self._nbuckets // 2 and \
+                self._nbuckets > self._MIN_BUCKETS:
+            self._rebuild(self._nbuckets // 2)
+        return entry
+
+    def _take(self) -> Entry:
+        buckets = self._buckets
+        nbuckets = self._nbuckets
+        width = self._width
+        cursor = self._cursor
+        top = self._cursor_top
+        for _ in range(nbuckets):
+            bucket = buckets[cursor]
+            if bucket and bucket[0][0] < top:
+                self._cursor = cursor
+                self._cursor_top = top
+                return heappop(bucket)
+            cursor = (cursor + 1) % nbuckets
+            top += width
+        # A whole fruitless lap: events live laps ahead (or the wheel
+        # just resized).  Find the true minimum head directly and
+        # re-synchronize the calendar on its day.
+        best = None
+        best_index = -1
+        for index, bucket in enumerate(buckets):
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_index = index
+        assert best is not None  # _size > 0 guarantees an entry exists
+        self._resync(best[0])
+        return heappop(buckets[best_index])
+
+    def peek_time(self) -> float:
+        if not self._size:
+            return float("inf")
+        buckets = self._buckets
+        nbuckets = self._nbuckets
+        cursor = self._cursor
+        top = self._cursor_top
+        width = self._width
+        for _ in range(nbuckets):
+            bucket = buckets[cursor]
+            if bucket and bucket[0][0] < top:
+                return bucket[0][0]
+            cursor = (cursor + 1) % nbuckets
+            top += width
+        return min(bucket[0][0] for bucket in buckets if bucket)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+#: Registry of selectable schedulers.
+SCHEDULERS = {
+    HeapScheduler.name: HeapScheduler,
+    CalendarQueueScheduler.name: CalendarQueueScheduler,
+}
+
+
+def default_scheduler_name() -> str:
+    """Process-wide default: ``REPRO_SIM_SCHEDULER`` or ``heap``.
+
+    Read per call (not cached at import) so test harnesses and the CI
+    matrix can flip the default between runs in one process.
+    """
+    name = os.environ.get("REPRO_SIM_SCHEDULER", HeapScheduler.name)
+    if name not in SCHEDULERS:
+        raise ValueError(
+            f"REPRO_SIM_SCHEDULER={name!r} is not a known scheduler "
+            f"(expected one of {sorted(SCHEDULERS)})")
+    return name
+
+
+def make_scheduler(which: Any = None) -> EventScheduler:
+    """Build a scheduler from a name, an instance, or ``None``.
+
+    ``None`` selects the process default; a string looks up
+    :data:`SCHEDULERS`; an :class:`EventScheduler` instance passes
+    through (it must be empty — reusing a populated queue would smuggle
+    events between environments).
+    """
+    if which is None:
+        which = default_scheduler_name()
+    if isinstance(which, EventScheduler):
+        if len(which):
+            raise ValueError("cannot share a non-empty scheduler "
+                             "between environments")
+        return which
+    try:
+        factory = SCHEDULERS[which]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown scheduler {which!r} (expected one of "
+            f"{sorted(SCHEDULERS)} or an EventScheduler)") from None
+    return factory()

@@ -47,8 +47,8 @@ def test_unknown_suite_and_workload_rejected():
 def test_run_workload_returns_work_and_clock():
     run = run_workload("micro/engine-timeouts")
     assert run.workload == "micro/engine-timeouts"
-    assert run.work["events_fired"] > 2000
-    assert run.sim_time_us == 2000.0
+    assert run.work["events_fired"] > 400000
+    assert run.sim_time_us == 400000.0
     assert run.wall_s > 0
     assert run.events_per_sec > 0
 

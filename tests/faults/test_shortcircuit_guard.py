@@ -1,0 +1,79 @@
+"""The analytic short-circuit must never be taken where a fault could
+observe the difference.
+
+The fast path books transfers with timestamp arithmetic instead of
+simulating engines and links, which is only sound when nothing can
+perturb the transfer mid-flight.  Any attached
+:class:`~repro.faults.FaultPlan` therefore disables it wholesale —
+these tests pin that guard and prove faulted runs behave identically
+whether or not the fast path was *offered*.
+"""
+
+from repro.faults import FaultPlan, LinkOutage, RetryConfig
+from repro.mpi import MpiWorld
+from repro.obs.perf import WorkMeter
+
+
+def _run(machine, p, op, nbytes, faults=None, fast_wire=True, seed=5):
+    world = MpiWorld(machine, p, seed=seed, faults=faults,
+                     fast_wire=fast_wire)
+    meter = WorkMeter()
+    world.env.work = meter
+    elapsed = world.run_collective(op, nbytes)
+    injector = world.machine.injector
+    return elapsed, meter.snapshot(), injector
+
+
+def test_clean_run_takes_the_short_circuit():
+    _elapsed, work, injector = _run("t3d", 16, "broadcast", 4096)
+    assert injector is None
+    assert work["transfers_shortcircuited"] > 0
+
+
+def test_fault_plan_disables_short_circuit_entirely():
+    # Both a payload-level plan (loss) and a topology-level plan (link
+    # outage) must force every transfer onto the simulated path.
+    plans = [
+        FaultPlan(name="lossy", loss_probability=0.3),
+        FaultPlan(name="outage",
+                  link_outages=(LinkOutage(src=0, dst=1, start_us=0.0,
+                                           end_us=500.0),)),
+    ]
+    for plan in plans:
+        _elapsed, work, injector = _run("t3d", 16, "broadcast", 4096,
+                                        faults=plan)
+        assert injector is not None, plan.name
+        assert work["transfers_shortcircuited"] == 0, plan.name
+        assert work["transfers_booked"] > 0, plan.name
+
+
+def test_midflight_outage_identical_with_and_without_fast_wire():
+    """A link dies while traffic is in flight: with faults attached the
+    fast path is ineligible, so offering it (fast_wire=True) must not
+    change a single counter or microsecond — the recovery (reroutes,
+    retransmissions, RTO spans) replays exactly."""
+    plan = FaultPlan(
+        name="midflight",
+        loss_probability=0.2,
+        link_outages=(LinkOutage(src=1, dst=0, start_us=100.0,
+                                 end_us=2000.0),),
+        retry=RetryConfig(timeout_us=500.0, backoff=2.0, max_retries=8))
+    fast = _run("sp2", 8, "allreduce", 4096, faults=plan)
+    slow = _run("sp2", 8, "allreduce", 4096, faults=plan,
+                fast_wire=False)
+    assert fast[0] == slow[0]          # same simulated finish time
+    assert fast[1] == slow[1]          # same work, byte for byte
+    assert fast[1]["transfers_shortcircuited"] == 0
+    # The run actually exercised the recovery machinery.
+    assert fast[2].retransmits == slow[2].retransmits
+    assert fast[2].retransmits > 0 or fast[1]["transfers_rerouted"] > 0
+
+
+def test_faulted_time_differs_from_clean_time():
+    # Sanity anchor: the guard matters because faults DO change what
+    # the short-circuit would have precomputed.
+    clean, _, _ = _run("sp2", 8, "allreduce", 4096)
+    plan = FaultPlan(name="lossy", loss_probability=0.4,
+                     retry=RetryConfig(timeout_us=1000.0))
+    faulted, _, _ = _run("sp2", 8, "allreduce", 4096, faults=plan)
+    assert faulted > clean

@@ -166,3 +166,315 @@ def test_process_is_alive_lifecycle():
     env.run()
     assert not p.is_alive
     assert p.ok
+
+
+# -- consistent error surfaces (engine speed overhaul satellites) ---------
+
+def test_untriggered_access_raises_one_consistent_message():
+    """``Event.ok`` and ``Event.value`` must fail with the same
+    SimulationError shape, naming the accessor and the event class."""
+    env = Environment()
+    for accessor in ("ok", "value"):
+        fresh = env.event()
+        with pytest.raises(SimulationError) as excinfo:
+            getattr(fresh, accessor)
+        message = str(excinfo.value)
+        assert f"Event.{accessor}" in message
+        assert "has not been triggered" in message
+
+
+def test_untriggered_process_value_names_process_class():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    with pytest.raises(SimulationError, match=r"Process\.value"):
+        _ = p.value
+    env.run()
+    assert p.value is None  # readable once finished
+
+
+def test_interrupt_of_terminated_process_raises_simulation_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick(), name="quick")
+    env.run()
+    assert not p.is_alive
+    with pytest.raises(SimulationError, match="quick has already "
+                                              "terminated"):
+        p.interrupt()
+
+
+def test_stop_process_inside_condition_waiter():
+    """A waiter that raises StopProcess while parked on a Condition
+    must finish cleanly with the StopProcess value, and the condition
+    itself must stay consistent for other waiters."""
+    from repro.sim import StopProcess
+
+    env = Environment()
+    gate = env.timeout(5.0, value="opened")
+
+    def quitter():
+        try:
+            yield env.any_of([gate, env.timeout(50.0)])
+        finally:
+            pass
+        raise StopProcess("left early")
+
+    def stayer():
+        result = yield env.all_of([gate])
+        return [value for _, value in result]
+
+    q = env.process(quitter())
+    s = env.process(stayer())
+    env.run()
+    assert q.value == "left early"
+    assert s.value == ["opened"]
+
+
+def test_all_of_with_already_processed_member():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def waiter():
+        yield env.timeout(1.0)  # `done` is processed by now
+        result = yield env.all_of([done, env.timeout(2.0, value="late")])
+        return [value for _, value in result]
+
+    p = env.process(waiter())
+    env.run()
+    assert p.value == ["early", "late"]
+    assert env.now == 3.0
+
+
+def test_any_of_with_already_failed_member_fails_consistently():
+    env = Environment()
+    dead = env.event()
+    dead.fail(RuntimeError("pre-broken"))
+    dead.defused()
+    caught = []
+
+    def waiter():
+        yield env.timeout(1.0)
+        try:
+            yield env.any_of([dead, env.timeout(9.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["pre-broken"]
+
+
+# -- remaining engine branches (the sim/ coverage gate is 95%) ------------
+
+def test_step_and_empty_step():
+    env = Environment()
+    fired = []
+    env.timeout(2.0).callbacks.append(lambda e: fired.append(env.now))
+    env.step()
+    assert env.now == 2.0 and fired == [2.0]
+    assert env.timeout(1.0).processed is False
+    env.step()
+    with pytest.raises(SimulationError, match="no more events"):
+        env.step()
+
+
+def test_fail_after_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed("done")
+    with pytest.raises(SimulationError, match="already triggered"):
+        event.fail(RuntimeError("late"))
+
+
+def test_process_rejects_non_generator():
+    env = Environment()
+    with pytest.raises(TypeError, match="not a generator"):
+        env.process(lambda: None)
+
+
+def test_interrupt_counter_and_double_interrupt():
+    from repro.obs.perf import WorkMeter
+
+    env = Environment()
+    meter = WorkMeter()
+    env.work = meter
+    handled = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt as interrupt:
+            handled.append(interrupt.cause)
+        # Terminate right away: the second interrupt event then finds
+        # the process already finished and must be a no-op.
+
+    proc = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        proc.interrupt("one")
+        proc.interrupt("two")
+
+    env.process(interrupter())
+    env.run()
+    assert handled == ["one"]
+    assert meter.interrupts == 2
+
+
+def test_yielding_event_from_other_environment_fails():
+    env_a, env_b = Environment(), Environment()
+    caught = []
+
+    def confused():
+        try:
+            yield env_b.timeout(1.0)
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env_a.process(confused())
+    env_a.run()
+    assert caught == ["yielded event belongs to another Environment"]
+
+
+def test_waiting_on_processed_failed_event_rethrows():
+    env = Environment()
+    dead = env.event()
+    dead.fail(RuntimeError("stale failure"))
+    dead.defused()
+    env.run()  # process the failure now
+    assert dead.processed
+    caught = []
+
+    def latecomer():
+        try:
+            yield dead
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(latecomer())
+    env.run()
+    assert caught == ["stale failure"]
+
+
+def test_condition_rejects_mixed_environments():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(SimulationError, match="mixed environments"):
+        AllOf(env_a, [env_a.timeout(1.0), env_b.timeout(1.0)])
+
+
+def test_active_process_visible_inside_step():
+    env = Environment()
+    seen = []
+
+    def proc():
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    assert env.active_process is None
+    env.run()
+    assert seen == [p]
+
+
+def test_sleep_rejects_negative_delay_warm_and_cold():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.sleep(-1.0)  # cold: no pooled event yet
+
+    def warm():
+        yield env.sleep(1.0)
+
+    env.process(warm())
+    env.run()  # recycles one pooled event
+    with pytest.raises(ValueError):
+        env.sleep(-1.0)  # warm: pooled path must validate too
+
+
+def test_sleep_until_rejects_past_times():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError, match="past time"):
+        env.sleep_until(9.0)
+
+    def proc():
+        yield env.sleep_until(12.0)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 12.0
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+    event = env.timeout(1.0, value="early")
+    env.run()
+    assert env.run(until=event) == "early"
+
+
+def test_run_until_defused_failed_event_reraises():
+    env = Environment()
+
+    def doomed():
+        yield env.timeout(1.0)
+        raise ValueError("handled elsewhere")
+
+    proc = env.process(doomed(), name="doomed")
+
+    def watcher():
+        try:
+            yield proc
+        except ValueError:
+            pass
+
+    env.process(watcher())
+    with pytest.raises(ValueError, match="handled elsewhere"):
+        env.run(until=proc)
+
+
+def test_run_until_unfireable_event_rejected():
+    env = Environment()
+    orphan = env.event()  # never triggered, queue drains
+    with pytest.raises(SimulationError, match="can no longer fire"):
+        env.run(until=orphan)
+
+
+def test_bounded_run_advances_clock_past_last_event():
+    env = Environment()
+    env.timeout(1.0)
+    env.run(until=50.0)
+    assert env.now == 50.0
+    env.run(until=60.0)  # empty queue: pure clock advance
+    assert env.now == 60.0
+    with pytest.raises(ValueError, match="in the past"):
+        env.run(until=5.0)
+
+
+def test_profiled_run_matches_unprofiled_results():
+    from repro.obs import EngineProfiler
+
+    def workload(env):
+        def proc():
+            for _ in range(5):
+                yield env.timeout(1.0)
+            return env.now
+        return env.process(proc())
+
+    plain_env = Environment()
+    plain = workload(plain_env)
+    plain_env.run()
+
+    profiled_env = Environment()
+    profiled_env.profiler = EngineProfiler()
+    profiled = workload(profiled_env)
+    profiled_env.run()
+
+    assert plain.value == profiled.value == 5.0
+    assert profiled_env.profiler.total_fired > 0

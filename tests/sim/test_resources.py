@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.perf import WorkMeter
 from repro.sim import Environment, FilterStore, Resource, SimulationError, Store
 
 
@@ -235,3 +236,106 @@ def test_filter_store_default_predicate_takes_any():
     p = env.process(getter())
     env.run()
     assert p.value == "only"
+
+
+# -- timestamp bookings (the engine speed overhaul's fast path) -----------
+
+def test_try_occupy_books_contiguously():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    first = resource.try_occupy(5.0)
+    assert first == (0.0, float("-inf"))
+    assert resource.booked_until == 5.0
+    # Back-to-back booking starts exactly where the previous one ends —
+    # the instant a queued request would have been granted.
+    second = resource.try_occupy(2.5)
+    assert second == (5.0, 5.0)
+    assert resource.booked_until == 7.5
+
+
+def test_try_occupy_refused_on_held_or_contended_resource():
+    env = Environment()
+    shared = Resource(env, capacity=2)
+    assert shared.try_occupy(1.0) is None  # only capacity-1 is bookable
+
+    held = Resource(env, capacity=1)
+    grant = held.request()
+    assert held.try_occupy(1.0) is None  # a user holds it
+
+    held.release(grant)
+    assert held.try_occupy(1.0) is not None
+
+
+def test_undo_occupy_restores_previous_booking():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    resource.try_occupy(4.0)
+    booking = resource.try_occupy(3.0)
+    assert booking is not None
+    resource.undo_occupy(booking[1])
+    assert resource.booked_until == 4.0
+
+
+def test_request_during_booking_waits_for_expiry():
+    """A request arriving mid-booking is granted exactly when the
+    booking expires — time-equivalent to queueing behind a real
+    holder's release."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grant_times = []
+
+    def booker():
+        booking = resource.try_occupy(6.0)
+        assert booking is not None
+        yield env.timeout(6.0)
+
+    def requester():
+        yield env.timeout(1.0)  # booking is active now
+        request = resource.request()
+        yield request
+        grant_times.append(env.now)
+        resource.release(request)
+
+    env.process(booker())
+    env.process(requester())
+    env.run()
+    assert grant_times == [6.0]
+
+
+def test_booking_respects_fifo_among_queued_requests():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def requester(name, arrive):
+        yield env.timeout(arrive)
+        request = resource.request()
+        yield request
+        order.append((name, env.now))
+        yield env.timeout(1.0)
+        resource.release(request)
+
+    resource.try_occupy(5.0)
+    env.process(requester("first", 1.0))
+    env.process(requester("second", 2.0))
+    env.run()
+    assert order == [("first", 5.0), ("second", 6.0)]
+
+
+def test_booking_counts_as_occupancy_not_grant():
+    env = Environment()
+    meter = WorkMeter()
+    env.work = meter
+    resource = Resource(env, capacity=1)
+
+    def booker():
+        booking = resource.try_occupy(2.0)
+        assert booking is not None
+        env.work.resource_occupancies += 1  # the callers' convention
+        yield env.sleep_until(booking[0] + 2.0)
+
+    env.process(booker())
+    env.run()
+    assert meter.resource_occupancies == 1
+    assert meter.resource_requests == 0
+    assert meter.resource_grants == 0

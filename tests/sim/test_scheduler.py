@@ -1,0 +1,155 @@
+"""Unit tests for the calendar-queue scheduler's internal machinery.
+
+The differential harness (:mod:`tests.sim.test_scheduler_equivalence`)
+proves heap and calendar agree end-to-end; these tests pin the calendar
+queue's own mechanics — wheel resizing, the fruitless-lap fallback,
+width derivation — so a regression fails with a named cause instead of
+a mismatched event log.
+"""
+
+import pytest
+
+from repro.sim.scheduler import (
+    CalendarQueueScheduler,
+    HeapScheduler,
+    default_scheduler_name,
+)
+
+
+def entry(time, priority=1, eid=0):
+    return (time, priority, eid, None)
+
+
+def drain(queue):
+    out = []
+    while len(queue):
+        out.append(queue.pop())
+    return out
+
+
+def test_pops_in_time_priority_eid_order():
+    queue = CalendarQueueScheduler()
+    entries = [entry(5.0, 1, 3), entry(5.0, 0, 4), entry(1.0, 1, 1),
+               entry(5.0, 1, 2), entry(0.5, 1, 5)]
+    for item in entries:
+        queue.push(item)
+    assert drain(queue) == sorted(entries)
+
+
+def test_exact_ties_pop_by_eid():
+    queue = CalendarQueueScheduler()
+    for eid in (9, 3, 7, 1, 5):
+        queue.push(entry(2.0, 1, eid))
+    assert [e[2] for e in drain(queue)] == [1, 3, 5, 7, 9]
+
+
+def test_wheel_doubles_then_halves():
+    queue = CalendarQueueScheduler(bucket_width=1.0, bucket_count=8)
+    for eid in range(64):
+        queue.push(entry(float(eid), 1, eid))
+    assert queue._nbuckets > 8  # doubled at least once
+    for _ in range(60):
+        queue.pop()
+    assert queue._nbuckets == 8  # shrunk back to the floor
+    assert [e[2] for e in drain(queue)] == [60, 61, 62, 63]
+
+
+def test_fruitless_lap_resyncs_on_far_future_event():
+    # One event many laps ahead of the cursor: the first pop must walk
+    # a whole fruitless lap, fall back to the direct scan, and resync.
+    queue = CalendarQueueScheduler(bucket_width=1.0, bucket_count=8)
+    queue.push(entry(1e9, 1, 1))
+    assert queue.peek_time() == 1e9
+    assert queue.pop() == entry(1e9, 1, 1)
+    # After resync the cursor sits on the far-future day; near events
+    # (earlier laps relative to the cursor) must still pop correctly.
+    queue.push(entry(1e9 + 0.25, 1, 2))
+    queue.push(entry(2e9, 1, 3))
+    assert [e[2] for e in drain(queue)] == [2, 3]
+
+
+def test_same_bucket_collisions_stay_ordered():
+    # Width 10 puts everything in one day; the bucket's own heap must
+    # keep exact order.
+    queue = CalendarQueueScheduler(bucket_width=10.0, bucket_count=8)
+    times = [3.7, 0.1, 9.9, 5.5, 5.5, 2.2]
+    for eid, time in enumerate(times):
+        queue.push(entry(time, 1, eid))
+    assert drain(queue) == sorted(entry(t, 1, e)
+                                  for e, t in enumerate(times))
+
+
+def test_peek_time_matches_next_pop():
+    queue = CalendarQueueScheduler()
+    assert queue.peek_time() == float("inf")
+    for eid, time in enumerate([4.0, 1.5, 8.0, 1.5]):
+        queue.push(entry(time, 1, eid))
+    while len(queue):
+        assert queue.peek_time() == queue.pop()[0]
+    assert queue.peek_time() == float("inf")
+
+
+def test_zero_and_identical_times_derive_positive_width():
+    queue = CalendarQueueScheduler(bucket_width=1.0, bucket_count=8)
+    for eid in range(40):
+        queue.push(entry(0.0, 1, eid))  # zero span during rebuilds
+    assert queue._width > 0
+    assert [e[2] for e in drain(queue)] == list(range(40))
+
+
+def test_pop_empty_raises():
+    queue = CalendarQueueScheduler()
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_constructor_validates_geometry():
+    with pytest.raises(ValueError):
+        CalendarQueueScheduler(bucket_width=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueueScheduler(bucket_count=0)
+
+
+def test_heap_scheduler_interface():
+    queue = HeapScheduler()
+    assert queue.peek_time() == float("inf")
+    queue.push(entry(2.0, 1, 2))
+    queue.push(entry(1.0, 1, 1))
+    assert queue.peek_time() == 1.0
+    assert len(queue) == 2
+    assert [e[0] for e in drain(queue)] == [1.0, 2.0]
+
+
+def test_default_scheduler_name_rejects_unknown(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    assert default_scheduler_name() == "heap"
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "calendar")
+    assert default_scheduler_name() == "calendar"
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "abacus")
+    with pytest.raises(ValueError):
+        default_scheduler_name()
+
+
+def test_abstract_interface_is_abstract():
+    from repro.sim.scheduler import EventScheduler
+
+    base = EventScheduler()
+    with pytest.raises(NotImplementedError):
+        base.push(entry(0.0))
+    with pytest.raises(NotImplementedError):
+        base.pop()
+    with pytest.raises(NotImplementedError):
+        base.peek_time()
+    with pytest.raises(NotImplementedError):
+        len(base)
+
+
+def test_rebuild_with_under_two_entries_keeps_width_positive():
+    # Draining a large wheel forces a rebuild with an (almost) empty
+    # entry list; width derivation must stay positive.
+    queue = CalendarQueueScheduler(bucket_width=1.0, bucket_count=32)
+    queue.push(entry(5.0, 1, 1))
+    assert queue.pop() == entry(5.0, 1, 1)
+    assert queue._width > 0
+    queue.push(entry(1.0, 1, 2))
+    assert queue.pop()[2] == 2

@@ -1,0 +1,335 @@
+"""Differential equivalence of the pluggable event schedulers.
+
+The engine speed overhaul made the pending-event queue pluggable (heap
+vs calendar queue) and added an analytic short-circuit for contention-
+and fault-free transfers.  Neither may ever be *observable*: this
+harness runs randomized process/resource/transfer graphs (hypothesis)
+and real MPI workloads under every configuration and asserts
+
+* heap and calendar produce **byte-identical event logs** — the exact
+  ``(time, priority, eid, event-type)`` pop sequence — and identical
+  :class:`~repro.obs.perf.WorkMeter` snapshots;
+* short-circuited (``fast_wire=True``) runs match full-simulation
+  times to 1e-12 s (1e-6 of this repo's microsecond unit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MpiWorld
+from repro.obs.perf import WorkMeter
+from repro.sim import Environment, Resource, Store
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    CalendarQueueScheduler,
+    EventScheduler,
+    HeapScheduler,
+    make_scheduler,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: 1e-12 seconds in this repo's microsecond time unit.
+TIME_TOLERANCE_US = 1e-6
+
+
+class LoggingScheduler(EventScheduler):
+    """Wrap a scheduler, recording every popped entry.
+
+    The log is the complete observable behaviour of a queue: if two
+    implementations pop the same ``(time, priority, eid, type)``
+    sequence for the same workload, the simulation cannot tell them
+    apart.
+    """
+
+    __slots__ = ("inner", "log", "name")
+
+    def __init__(self, inner: EventScheduler):
+        self.inner = inner
+        self.name = inner.name
+        self.log = []
+
+    def push(self, entry) -> None:
+        self.inner.push(entry)
+
+    def pop(self):
+        entry = self.inner.pop()
+        self.log.append((entry[0], entry[1], entry[2],
+                         type(entry[3]).__name__))
+        return entry
+
+    def peek_time(self) -> float:
+        return self.inner.peek_time()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+
+def run_logged(scheduler_name, program_factory):
+    """Run ``program_factory(env)`` to completion under a logging
+    scheduler; return (event log, work snapshot, final time)."""
+    queue = LoggingScheduler(SCHEDULERS[scheduler_name]())
+    env = Environment(scheduler=queue)
+    env.work = WorkMeter()
+    program_factory(env)
+    env.run()
+    return queue.log, env.work.snapshot(), env.now
+
+
+def assert_equivalent(program_factory):
+    heap_log, heap_work, heap_now = run_logged("heap", program_factory)
+    cal_log, cal_work, cal_now = run_logged("calendar", program_factory)
+    assert heap_log == cal_log
+    assert heap_work == cal_work
+    assert heap_now == cal_now
+    assert heap_log, "workload fired no events at all"
+
+
+# -- randomized process/resource/transfer graphs --------------------------
+
+@st.composite
+def process_graphs(draw):
+    """A random little simulation: N processes over shared resources
+    and stores, with timeouts, conditions, and handoffs."""
+    n_resources = draw(st.integers(1, 3))
+    n_stores = draw(st.integers(1, 2))
+    n_procs = draw(st.integers(2, 6))
+    durations = st.sampled_from(
+        [0.0, 0.25, 0.5, 1.0, 1.0, 2.5, 7.0, 1e3, 1e-3])
+    programs = []
+    for _ in range(n_procs):
+        actions = []
+        for _ in range(draw(st.integers(1, 8))):
+            kind = draw(st.sampled_from(
+                ["timeout", "hold", "put", "get", "anyof", "allof"]))
+            if kind == "timeout":
+                actions.append(("timeout", draw(durations)))
+            elif kind == "hold":
+                actions.append(("hold", draw(st.integers(0, n_resources - 1)),
+                                draw(durations)))
+            elif kind in ("put", "get"):
+                actions.append((kind, draw(st.integers(0, n_stores - 1))))
+            else:
+                actions.append((kind, draw(durations), draw(durations)))
+        programs.append(actions)
+    # Every get must have a matching put somewhere or the run deadlocks
+    # silently (run() just returns); balance per store.
+    for store in range(n_stores):
+        puts = sum(a[0] == "put" and a[1] == store
+                   for p in programs for a in p)
+        gets = sum(a[0] == "get" and a[1] == store
+                   for p in programs for a in p)
+        if gets > puts:
+            programs[0] = ([("put", store)] * (gets - puts)) + programs[0]
+    return n_resources, n_stores, programs
+
+
+def build_graph(env, spec):
+    n_resources, n_stores, programs = spec
+    resources = [Resource(env, capacity=1) for _ in range(n_resources)]
+    stores = [Store(env) for _ in range(n_stores)]
+
+    def run_actions(actions):
+        for action in actions:
+            if action[0] == "timeout":
+                yield env.timeout(action[1])
+            elif action[0] == "hold":
+                resource = resources[action[1]]
+                request = resource.request()
+                yield request
+                yield env.timeout(action[2])
+                resource.release(request)
+            elif action[0] == "put":
+                stores[action[1]].put(action[0])
+            elif action[0] == "get":
+                yield stores[action[1]].get()
+            elif action[0] == "anyof":
+                yield env.any_of([env.timeout(action[1]),
+                                  env.timeout(action[2])])
+            else:
+                yield env.all_of([env.timeout(action[1]),
+                                  env.timeout(action[2])])
+
+    for index, actions in enumerate(programs):
+        env.process(run_actions(actions), name=f"graph-{index}")
+
+
+@given(process_graphs())
+@settings(max_examples=60, deadline=None)
+def test_random_graphs_pop_identical_event_logs(spec):
+    assert_equivalent(lambda env: build_graph(env, spec))
+
+
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1,
+                max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_random_timeout_batches_pop_in_identical_order(delays):
+    """Wide spreads and exact ties — the calendar's hard cases (laps,
+    resizes, shared buckets) must not leak into the pop order."""
+    def factory(env):
+        def proc():
+            yield env.all_of([env.timeout(d) for d in delays])
+        env.process(proc())
+
+    assert_equivalent(factory)
+
+
+# -- real MPI workloads ----------------------------------------------------
+
+MPI_CASES = [
+    ("sp2", "broadcast", 4096, 16),
+    ("t3d", "allreduce", 2048, 32),
+    ("paragon", "alltoall", 256, 8),
+    ("t3d", "broadcast", 65536, 64),
+]
+
+
+@st.composite
+def mpi_workloads(draw):
+    machine = draw(st.sampled_from(["sp2", "t3d", "paragon"]))
+    op = draw(st.sampled_from(
+        ["broadcast", "allreduce", "alltoall", "barrier"]))
+    nbytes = 0 if op == "barrier" else \
+        draw(st.sampled_from([0, 64, 4096, 32768]))
+    p = draw(st.sampled_from([2, 5, 16, 32]))
+    return machine, op, nbytes, p
+
+
+def run_collective(machine, op, nbytes, p, scheduler=None,
+                   fast_wire=True):
+    world = MpiWorld(machine, p, seed=0, scheduler=scheduler,
+                     fast_wire=fast_wire)
+    meter = WorkMeter()
+    world.env.work = meter
+    elapsed = world.run_collective(op, nbytes)
+    return elapsed, meter.snapshot()
+
+
+@given(mpi_workloads())
+@settings(max_examples=25, deadline=None)
+def test_random_collectives_identical_under_both_schedulers(workload):
+    heap_time, heap_work = run_collective(*workload, scheduler="heap")
+    cal_time, cal_work = run_collective(*workload, scheduler="calendar")
+    assert heap_time == cal_time
+    assert heap_work == cal_work
+
+
+def test_fixed_collectives_identical_under_both_schedulers():
+    for workload in MPI_CASES:
+        heap_time, heap_work = run_collective(*workload, scheduler="heap")
+        cal_time, cal_work = run_collective(*workload,
+                                            scheduler="calendar")
+        assert heap_time == cal_time, workload
+        assert heap_work == cal_work, workload
+
+
+# -- analytic short-circuit vs full simulation -----------------------------
+
+@given(mpi_workloads())
+@settings(max_examples=25, deadline=None)
+def test_short_circuit_matches_full_simulation(workload):
+    fast_time, fast_work = run_collective(*workload, fast_wire=True)
+    slow_time, slow_work = run_collective(*workload, fast_wire=False)
+    assert abs(fast_time - slow_time) <= TIME_TOLERANCE_US, workload
+    # The fast path may never simulate *less* traffic than it books.
+    assert fast_work["messages_sent"] == slow_work["messages_sent"]
+    assert fast_work["messages_delivered"] == \
+        slow_work["messages_delivered"]
+    assert slow_work["transfers_shortcircuited"] == 0
+
+
+def test_short_circuit_exact_on_fixed_cases():
+    for workload in MPI_CASES:
+        fast_time, fast_work = run_collective(*workload, fast_wire=True)
+        slow_time, _slow_work = run_collective(*workload, fast_wire=False)
+        assert abs(fast_time - slow_time) <= TIME_TOLERANCE_US, workload
+        assert fast_work["transfers_shortcircuited"] > 0, \
+            f"{workload} never took the analytic path"
+
+
+def test_short_circuit_composes_with_calendar_scheduler():
+    for workload in MPI_CASES[:2]:
+        times = {
+            (sched, fast): run_collective(*workload, scheduler=sched,
+                                          fast_wire=fast)[0]
+            for sched in ("heap", "calendar")
+            for fast in (True, False)
+        }
+        reference = times[("heap", True)]
+        for key, value in times.items():
+            assert abs(value - reference) <= TIME_TOLERANCE_US, \
+                (workload, key)
+
+
+# -- scheduler plumbing ----------------------------------------------------
+
+def test_environment_reports_scheduler_name():
+    assert Environment().scheduler_name == "heap"
+    assert Environment(scheduler="calendar").scheduler_name == "calendar"
+
+
+def test_make_scheduler_rejects_unknown_and_nonempty():
+    import pytest
+
+    with pytest.raises(ValueError):
+        make_scheduler("fifo")
+    queue = HeapScheduler()
+    queue.push((0.0, 1, 1, None))
+    with pytest.raises(ValueError):
+        make_scheduler(queue)
+    assert isinstance(make_scheduler(CalendarQueueScheduler()),
+                      CalendarQueueScheduler)
+
+
+def test_env_var_selects_default_scheduler():
+    env = dict(os.environ)
+    try:
+        os.environ["REPRO_SIM_SCHEDULER"] = "calendar"
+        assert Environment().scheduler_name == "calendar"
+        os.environ["REPRO_SIM_SCHEDULER"] = "bogus"
+        import pytest
+        with pytest.raises(ValueError):
+            Environment()
+    finally:
+        os.environ.clear()
+        os.environ.update(env)
+
+
+# -- cross-process determinism (fresh interpreter per scheduler) -----------
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.mpi import MpiWorld
+from repro.obs import WorkMeter
+
+meter = WorkMeter()
+world = MpiWorld("sp2", 16, seed=0, scheduler=sys.argv[1])
+world.env.work = meter
+elapsed = world.run_collective("allreduce", 4096)
+print(json.dumps({"work": meter.snapshot(), "elapsed": elapsed},
+                 sort_keys=True))
+"""
+
+
+def test_work_dump_identical_across_processes_and_schedulers():
+    """Satellite: the same perfsuite-style workload in separate worker
+    processes — one per scheduler, random hash seeds — must emit
+    byte-identical WorkMeter dumps and simulated times."""
+    outputs = set()
+    for scheduler in ("heap", "calendar"):
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SNIPPET, scheduler],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": REPO_SRC,
+                 "PYTHONHASHSEED": "random"})
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1
+    payload = json.loads(outputs.pop())
+    assert payload["work"]["events_fired"] > 0
+    assert payload["elapsed"] > 0
