@@ -239,6 +239,43 @@ def _build_parser() -> argparse.ArgumentParser:
                             "breakdown (software/wire/contention/"
                             "fault-recovery) to every cell; sim mode "
                             "only, changes every cache fingerprint")
+    sweep.add_argument("--decision-table", metavar="PATH",
+                       help="BENCH_tuning.json decision table; cells "
+                            "it covers run the tuned algorithm instead "
+                            "of the machine's fixed choice (sim mode "
+                            "only)")
+
+    tune = sub.add_parser(
+        "tune",
+        help="race candidate collective algorithms per (machine, op, "
+             "m, p), fit crossover points, and emit the "
+             "BENCH_tuning.json decision table")
+    tune.add_argument("--machines", metavar="NAMES",
+                      default="sp2,t3d,paragon",
+                      help="machines to tune (comma-separated, "
+                           "default sp2,t3d,paragon)")
+    tune.add_argument("--ops", metavar="NAMES",
+                      help="restrict tuning to these collectives "
+                           "(comma-separated)")
+    tune.add_argument("--grid", default="paper",
+                      help="tuning grid preset (paper, smoke)")
+    tune.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker processes for simulated cells")
+    tune.add_argument("--out", metavar="PATH",
+                      default="BENCH_tuning.json",
+                      help="artifact path (default BENCH_tuning.json)")
+    tune.add_argument("--cache-dir", metavar="PATH",
+                      help="cache root (default $REPRO_SWEEP_CACHE or "
+                           "~/.cache/repro/sweep)")
+    tune.add_argument("--no-cache", action="store_true",
+                      help="neither read nor write the result cache")
+    tune.add_argument("--iterations", type=_positive_int,
+                      default=QUICK_CONFIG.iterations)
+    tune.add_argument("--runs", type=_positive_int,
+                      default=QUICK_CONFIG.runs)
+    tune.add_argument("--seed", type=int, default=QUICK_CONFIG.seed)
+    tune.add_argument("--top", type=_positive_int, default=10,
+                      help="flipped cells to list (default 10)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -361,6 +398,82 @@ def _filter_grid(grid, machines: Optional[Tuple[str, ...]],
     return grid
 
 
+def _apply_decision_table(cells, path):
+    """Materialize a decision table into per-cell algorithm overrides.
+
+    Overrides are placed on the cells themselves — not smuggled in via
+    modified machine specs — so cache fingerprints see exactly which
+    algorithm ran and tuned cells never collide with fixed-choice
+    results.  Cells the table resolves to the machine's own default
+    stay untouched (and keep their existing cache entries).
+    """
+    import dataclasses as _dataclasses
+
+    from .machines import get_machine_spec
+    from .tuner import load_decision_table
+
+    table = load_decision_table(path)
+    specs = {}
+    out = []
+    for cell in cells:
+        spec = specs.get(cell.machine)
+        if spec is None:
+            spec = specs[cell.machine] = get_machine_spec(cell.machine)
+        choice = table.lookup(cell.machine, cell.op, cell.nbytes,
+                              cell.p)
+        if choice and choice != spec.algorithms.get(cell.op):
+            cell = _dataclasses.replace(cell, algorithm=choice)
+        out.append(cell)
+    return tuple(out)
+
+
+def _run_tune_command(args) -> int:
+    from .core import MeasurementConfig
+    from .tuner import run_tune, tune_grid, write_tuning
+    try:
+        grid = tune_grid(args.grid)
+        ops = _csv_names(args.ops)
+        if ops is not None:
+            import dataclasses as _dataclasses
+            unknown = sorted(set(ops) - set(grid.ops))
+            if unknown:
+                raise ValueError(
+                    f"--ops {','.join(unknown)} not in tuning grid "
+                    f"{grid.name!r} (has {', '.join(grid.ops)})")
+            grid = _dataclasses.replace(
+                grid, ops=tuple(op for op in grid.ops if op in ops))
+        machines = _csv_names(args.machines) or ()
+        if not machines:
+            raise ValueError("--machines names no machines")
+    except (KeyError, ValueError) as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    measurement = MeasurementConfig(
+        iterations=args.iterations,
+        warmup_iterations=QUICK_CONFIG.warmup_iterations,
+        runs=args.runs, seed=args.seed)
+    try:
+        result = run_tune(machines, grid, config=measurement,
+                          workers=args.workers,
+                          cache_dir=args.cache_dir,
+                          use_cache=not args.no_cache)
+    except (KeyError, ValueError) as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(f"tune {grid.name} (machines={','.join(sorted(set(machines)))}, "
+          f"workers={args.workers}): {result.summary()}")
+    for cell, reason in sorted(result.quarantined.items()):
+        print(f"quarantined {cell.key()}: {reason}", file=sys.stderr)
+    for flip in result.flips[:args.top]:
+        print(f"  {flip['machine']}/{flip['op']}/{flip['nbytes']}/"
+              f"{flip['p']}: {flip['default_algorithm']} -> "
+              f"{flip['algorithm']} ({flip['speedup']:.2f}x)")
+    if len(result.flips) > args.top:
+        print(f"  ... {len(result.flips) - args.top} more flips")
+    print(f"wrote {write_tuning(result.artifact(), args.out)}")
+    return 1 if result.quarantined else 0
+
+
 def _run_sweep_command(args) -> int:
     from .bench import write_sweep_csv
     from .core import MeasurementConfig
@@ -391,6 +504,18 @@ def _run_sweep_command(args) -> int:
         print("--breakdown requires --mode sim (closed forms have no "
               "trace to analyse)", file=sys.stderr)
         return 2
+    cells = grid.cells()
+    if args.decision_table:
+        if args.mode != "sim":
+            print("--decision-table requires --mode sim (closed forms "
+                  "are keyed to the machines' fixed algorithms)",
+                  file=sys.stderr)
+            return 2
+        try:
+            cells = _apply_decision_table(cells, args.decision_table)
+        except (OSError, ValueError) as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
     config = SweepConfig(mode=args.mode, workers=args.workers,
                          measurement=measurement,
                          cache_dir=args.cache_dir,
@@ -402,7 +527,13 @@ def _run_sweep_command(args) -> int:
     cache.enabled = config.use_cache
     if args.clear_cache:
         print(f"cleared {cache.clear()} cached cells")
-    result = run_sweep(grid.cells(), config, cache)
+    try:
+        result = run_sweep(cells, config, cache)
+    except ValueError as error:
+        # An invalid per-cell algorithm override (e.g. a stale or
+        # hand-edited decision table) is a usage error, not a crash.
+        print(error.args[0], file=sys.stderr)
+        return 2
     print(f"sweep {grid.name} (mode={config.mode}, "
           f"workers={config.workers}): {result.summary()}")
     for cell, reason in sorted(result.quarantined.items()):
@@ -664,6 +795,8 @@ def _dispatch(args) -> int:
         return _run_perf_command(args)
     elif args.command == "sweep":
         return _run_sweep_command(args)
+    elif args.command == "tune":
+        return _run_tune_command(args)
     elif args.command == "chaos":
         return _run_chaos_command(args)
     elif args.command == "critpath":

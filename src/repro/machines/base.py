@@ -14,7 +14,7 @@ paper's units.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -197,13 +197,42 @@ class MachineSpec:
         object.__setattr__(self, "algorithms",
                            MappingProxyType(dict(self.algorithms)))
 
-    def algorithm_for(self, op: str) -> str:
-        """Algorithm name this machine's MPI port uses for ``op``."""
+    def algorithm_for(self, op: str, nbytes: Optional[int] = None,
+                      p: Optional[int] = None) -> str:
+        """Algorithm name this machine's MPI port uses for ``op``.
+
+        Resolution order: a loaded decision table (see
+        :meth:`with_decision_table`) consulted with the message size
+        and communicator size when both are known, then the spec's
+        fixed ``algorithms`` map.  With no table attached — the
+        default — the answer is exactly the paper's fixed 1996 choice,
+        so simulated times, fingerprints, and goldens are unchanged.
+        """
+        table = getattr(self, "_decision_table", None)
+        if table is not None and nbytes is not None and p is not None:
+            choice = table.lookup(self.name, op, nbytes, p)
+            if choice is not None:
+                return choice
         try:
             return self.algorithms[op]
         except KeyError:
             raise KeyError(
                 f"{self.name} defines no algorithm for {op!r}") from None
+
+    def with_decision_table(self, table: Optional[Any]) -> "MachineSpec":
+        """Copy of this spec consulting ``table`` (any object with a
+        ``lookup(machine, op, nbytes, p) -> Optional[str]`` method,
+        e.g. :class:`repro.tuner.DecisionTable`) before the fixed
+        algorithm map.
+
+        The table is deliberately *not* a dataclass field: spec
+        fingerprints hash only the declarative 1996 description, and a
+        tuned run must re-simulate rather than reuse cached
+        fixed-algorithm results keyed by the same spec.
+        """
+        clone = replace(self)
+        object.__setattr__(clone, "_decision_table", table)
+        return clone
 
     def uses_dma_for(self, op: str) -> bool:
         """Whether payload moves of ``op`` may use the DMA engine."""

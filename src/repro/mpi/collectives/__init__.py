@@ -15,6 +15,7 @@ from . import (  # noqa: F401 - imported for registration side effects
     reduce,
     scan,
     scatter,
+    zoo,
 )
 from .base import (
     absolute_rank,

@@ -18,39 +18,63 @@ extension bench races them against the period algorithms:
 
 from __future__ import annotations
 
-import math
-from typing import Generator
+from typing import Generator, Tuple
 
 from .base import absolute_rank, collective_algorithm, virtual_rank
 
-__all__ = ["scatter_allgather_broadcast", "ring_allgather",
-           "binomial_tree_gather", "ring_reduce_scatter"]
+__all__ = ["block_counts", "scatter_allgather_broadcast",
+           "ring_allgather", "binomial_tree_gather",
+           "ring_reduce_scatter"]
 
 #: Phase offset separating the two stages of the van de Geijn broadcast.
 _RING_PHASE = 1 << 18
 
 
+def block_counts(nbytes: int, size: int) -> Tuple[int, ...]:
+    """Balanced split of ``nbytes`` into ``size`` blocks.
+
+    The first ``nbytes % size`` blocks carry one extra byte, so the
+    counts always sum to exactly ``nbytes`` — unlike a uniform
+    ``ceil(nbytes / size)`` chunk, which over-sends whenever ``size``
+    does not divide ``nbytes``.
+    """
+    base, remainder = divmod(nbytes, size)
+    return tuple(base + (1 if index < remainder else 0)
+                 for index in range(size))
+
+
 @collective_algorithm("scatter_allgather_broadcast")
 def scatter_allgather_broadcast(ctx, seq: int, nbytes: int,
                                 root: int = 0) -> Generator:
-    """van de Geijn broadcast: linear scatter + ring allgather."""
+    """van de Geijn broadcast: linear scatter + ring allgather.
+
+    Block ``i`` (sized by :func:`block_counts`, so the blocks sum to
+    exactly ``nbytes``) is owned by virtual rank ``i``; in ring step
+    ``s`` virtual rank ``v`` forwards block ``(v - s) mod p`` to its
+    right neighbour, so after ``p - 1`` steps every rank holds the
+    whole message having moved only its fair share of the remainder.
+    """
     size = ctx.size
-    chunk = max(1, math.ceil(nbytes / size)) if nbytes > 0 else 0
-    # Stage 1: the root scatters one chunk per rank.
+    vrank = virtual_rank(ctx.rank, root, size)
+    counts = block_counts(nbytes, size)
+    # Stage 1: the root scatters one block per rank.
     if ctx.rank == root:
         for dst in range(size):
             if dst != root:
-                yield from ctx.coll_send(seq, 0, dst, chunk,
+                yield from ctx.coll_send(seq, 0, dst,
+                                         counts[virtual_rank(dst, root,
+                                                             size)],
                                          op="broadcast")
     else:
         yield from ctx.coll_recv(seq, 0, root, op="broadcast")
-    # Stage 2: ring allgather of the chunks; after p-1 steps every rank
+    # Stage 2: ring allgather of the blocks; after p-1 steps every rank
     # holds the whole message.
     right = (ctx.rank + 1) % size
     left = (ctx.rank - 1) % size
     for step in range(size - 1):
         posted = ctx.coll_post(seq, _RING_PHASE + step, left)
-        yield from ctx.coll_send(seq, _RING_PHASE + step, right, chunk,
+        yield from ctx.coll_send(seq, _RING_PHASE + step, right,
+                                 counts[(vrank - step) % size],
                                  op="broadcast")
         yield from ctx.coll_wait(posted, op="broadcast")
 

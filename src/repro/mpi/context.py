@@ -192,7 +192,8 @@ class RankContext:
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         from .collectives import get_algorithm
-        algorithm = get_algorithm(self.comm.spec.algorithm_for(op))
+        algorithm = get_algorithm(
+            self.comm.spec.algorithm_for(op, nbytes=nbytes, p=self.size))
         seq = yield from self._enter_collective(op, nbytes)
         self.comm.obs.enter(seq, op, nbytes, self.env.now)
         yield from algorithm(self, seq, nbytes, root)

@@ -41,9 +41,12 @@ class MpiWorld:
                  cpu_slowdown: Optional[dict] = None,
                  faults: Optional[FaultPlan] = None,
                  scheduler: Optional[str] = None,
-                 fast_wire: bool = True):
+                 fast_wire: bool = True,
+                 decision_table: Optional[Any] = None):
         spec = get_machine_spec(machine) if isinstance(machine, str) \
             else machine
+        if decision_table is not None:
+            spec = spec.with_decision_table(decision_table)
         self.env = Environment(scheduler=scheduler)
         self.streams = RandomStreams(seed)
         self.tracer = Tracer(enabled=trace)

@@ -45,6 +45,7 @@ from .pool import (
     SweepResult,
     evaluate_cell,
     run_sweep,
+    validate_cell_algorithms,
 )
 from .shard import (
     GRID_PRESETS,
@@ -80,5 +81,6 @@ __all__ = [
     "shard_cells",
     "spec_fingerprint",
     "to_jsonable",
+    "validate_cell_algorithms",
     "write_artifact",
 ]

@@ -41,8 +41,11 @@ VOLATILE_RESULT_FIELDS = frozenset({
     "timestamp", "started_at", "finished_at", "pid", "worker",
 })
 
-#: (machine, op, nbytes, p) — how diffing pairs cells up.
-CellKey = Tuple[str, str, int, int]
+#: (machine, op, nbytes, p, algorithm) — how diffing pairs cells up.
+#: Plain sweep cells carry no ``algorithm`` key (the machine default);
+#: they index with the empty string so pre-override artifacts pair up
+#: unchanged.
+CellKey = Tuple[str, str, int, int, str]
 
 
 def scrub_volatile(result: Dict[str, object]) -> Dict[str, object]:
@@ -58,14 +61,19 @@ def build_artifact(result: SweepResult, grid_name: str,
     for cell in result.cells:
         if cell in result.quarantined:
             continue
-        cells.append({
+        entry = {
             "machine": cell.machine,
             "op": cell.op,
             "nbytes": cell.nbytes,
             "p": cell.p,
             "fingerprint": result.fingerprints[cell],
             "result": scrub_volatile(result.results[cell]),
-        })
+        }
+        if cell.algorithm:
+            # Only on override cells, so plain artifacts stay
+            # byte-identical to the pre-override format.
+            entry["algorithm"] = cell.algorithm
+        cells.append(entry)
     payload = {
         "schema": ARTIFACT_SCHEMA,
         "grid": grid_name,
@@ -81,13 +89,19 @@ def build_artifact(result: SweepResult, grid_name: str,
     if result.quarantined:
         # Only present when something failed, so clean runs stay
         # byte-identical to pre-quarantine artifacts.
-        payload["quarantined"] = [{
-            "machine": cell.machine,
-            "op": cell.op,
-            "nbytes": cell.nbytes,
-            "p": cell.p,
-            "reason": reason,
-        } for cell, reason in sorted(result.quarantined.items())]
+        quarantined = []
+        for cell, reason in sorted(result.quarantined.items()):
+            entry = {
+                "machine": cell.machine,
+                "op": cell.op,
+                "nbytes": cell.nbytes,
+                "p": cell.p,
+                "reason": reason,
+            }
+            if cell.algorithm:
+                entry["algorithm"] = cell.algorithm
+            quarantined.append(entry)
+        payload["quarantined"] = quarantined
     return payload
 
 
@@ -116,12 +130,13 @@ def load_artifact(path: PathLike) -> Dict[str, object]:
 
 def _index(payload: Dict[str, object]) -> Dict[CellKey, Dict[str, object]]:
     cells = payload.get("cells", [])
-    return {(c["machine"], c["op"], int(c["nbytes"]), int(c["p"])): c
+    return {(c["machine"], c["op"], int(c["nbytes"]), int(c["p"]),
+             c.get("algorithm", "")): c
             for c in cells}
 
 
 def _cell_name(key: CellKey) -> str:
-    return "/".join(str(part) for part in key)
+    return "/".join(str(part) for part in key if part != "")
 
 
 @dataclass

@@ -73,7 +73,8 @@ def spec_fingerprint(spec: MachineSpec) -> str:
 def cell_fingerprint(spec: MachineSpec, op: str, nbytes: int, p: int,
                      config: Optional[MeasurementConfig] = None,
                      mode: str = "sim",
-                     breakdown: bool = False) -> str:
+                     breakdown: bool = False,
+                     algorithm: Optional[str] = None) -> str:
     """Cache key for one (machine, op, m, p) sweep cell.
 
     ``config`` is the measurement protocol (``None`` for the analytic
@@ -82,12 +83,16 @@ def cell_fingerprint(spec: MachineSpec, op: str, nbytes: int, p: int,
     identical cells; ``breakdown`` marks cells that also carry a
     critical-path component breakdown (the key gains the marker only
     when set, so existing plain-cell cache entries stay valid).
+    ``algorithm`` is a per-cell override of the machine's fixed
+    algorithm choice (tuner candidate sweeps); when absent or equal to
+    the default, the key is unchanged, so tuner runs share cache
+    entries with plain sweeps of the same cells.
     """
     payload = {
         "sim_version": SIM_VERSION,
         "mode": mode,
         "machine": to_jsonable(spec),
-        "algorithm": spec.algorithms.get(op),
+        "algorithm": algorithm if algorithm else spec.algorithms.get(op),
         "op": op,
         "nbytes": int(nbytes),
         "p": int(p),

@@ -40,7 +40,7 @@ from .fingerprint import cell_fingerprint
 from .shard import SweepCell, shard_cells
 
 __all__ = ["SWEEP_MODES", "SweepConfig", "SweepResult", "evaluate_cell",
-           "run_sweep"]
+           "run_sweep", "validate_cell_algorithms"]
 
 #: ``sim`` runs the discrete-event simulator; ``analytic`` the
 #: no-simulation cost model; ``model`` the paper's Table 3 expressions.
@@ -134,7 +134,15 @@ def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
                   breakdown: bool = False) -> Dict[str, float]:
     """Evaluate one cell from scratch (no cache involved)."""
     if mode == "sim":
-        sample = measure_collective(cell.machine, cell.op, cell.nbytes,
+        machine: object = cell.machine
+        if cell.algorithm:
+            # Per-cell override: race this algorithm instead of the
+            # machine's fixed choice (the tuner's candidate sweeps).
+            spec = get_machine_spec(cell.machine)
+            machine = dataclasses.replace(
+                spec, algorithms={**dict(spec.algorithms),
+                                  cell.op: cell.algorithm})
+        sample = measure_collective(machine, cell.op, cell.nbytes,
                                     cell.p, config or QUICK_CONFIG)
         result = {
             "time_us": sample.time_us,
@@ -147,6 +155,11 @@ def evaluate_cell(cell: SweepCell, config: Optional[MeasurementConfig],
             result["breakdown"] = _cell_breakdown(
                 cell, config or QUICK_CONFIG)
         return result
+    if cell.algorithm:
+        raise ValueError(
+            f"mode {mode!r} uses closed forms keyed to the machines' "
+            f"fixed algorithms and cannot honour the per-cell override "
+            f"{cell.algorithm!r}; use mode='sim'")
     if mode == "analytic":
         spec = get_machine_spec(cell.machine)
         model = AnalyticModel(spec)
@@ -274,25 +287,72 @@ def _evaluate_parallel(cells: Sequence[SweepCell],
 
 def _evaluate_batched(cells: Sequence[SweepCell],
                       specs: Dict[str, MachineSpec],
-                      mode: str) -> Dict[SweepCell, Dict[str, float]]:
-    """Closed-form modes: vectorize each (machine, op, p) row's sizes."""
+                      mode: str
+                      ) -> Tuple[Dict[SweepCell, Dict[str, float]],
+                                 Dict[SweepCell, str]]:
+    """Closed-form modes: vectorize each (machine, op, p) row's sizes.
+
+    Returns ``(results, quarantined)`` — a row whose closed form raises
+    quarantines its cells with the reason instead of sinking the sweep,
+    matching the simulation path's per-cell semantics.
+    """
     rows: Dict[Tuple[str, str, int], List[int]] = {}
     for cell in cells:
         rows.setdefault((cell.machine, cell.op, cell.p),
                         []).append(cell.nbytes)
     results: Dict[SweepCell, Dict[str, float]] = {}
+    quarantined: Dict[SweepCell, str] = {}
     for (machine, op, p), sizes in sorted(rows.items()):
         sizes = sorted(set(sizes))
-        if mode == "analytic":
-            times = AnalyticModel(specs[machine]).predict_batch(
-                op, sizes, p)
-        else:
-            times = paper_expression(machine, op).evaluate_grid(
-                sizes, (p,))[0]
+        try:
+            if mode == "analytic":
+                times = AnalyticModel(specs[machine]).predict_batch(
+                    op, sizes, p)
+            else:
+                times = paper_expression(machine, op).evaluate_grid(
+                    sizes, (p,))[0]
+        except Exception as exc:
+            for nbytes in sizes:
+                quarantined[SweepCell(machine, op, nbytes, p)] = repr(exc)
+            continue
         for nbytes, time_us in zip(sizes, times):
             results[SweepCell(machine, op, nbytes, p)] = \
                 {"time_us": float(time_us)}
-    return results
+    return results, quarantined
+
+
+def validate_cell_algorithms(cells: Sequence[SweepCell], mode: str = "sim",
+                             breakdown: bool = False) -> None:
+    """Reject bad per-cell algorithm overrides before any work starts.
+
+    An unknown name (a hand-edited decision table, a stale file) must
+    surface as a clean :class:`ValueError` naming the known algorithms
+    — not as a raw ``KeyError`` traceback from ``get_algorithm`` deep
+    inside a worker mid-sweep.  Overrides also require ``sim`` mode
+    (the closed forms are keyed to the machines' fixed algorithms) and
+    are incompatible with the breakdown capture path.
+    """
+    overridden = sorted({cell.algorithm for cell in cells
+                         if cell.algorithm})
+    if not overridden:
+        return
+    if mode != "sim":
+        raise ValueError(
+            f"per-cell algorithm overrides require mode='sim'; mode "
+            f"{mode!r} uses closed forms keyed to the machines' fixed "
+            f"algorithms")
+    if breakdown:
+        raise ValueError("per-cell algorithm overrides are incompatible "
+                         "with breakdown=True (the capture path runs "
+                         "the machine's fixed algorithm)")
+    from ..mpi.collectives import algorithm_names
+
+    known = sorted(algorithm_names())
+    unknown = sorted(set(overridden) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown collective algorithm(s) {', '.join(unknown)}; "
+            f"known algorithms: {', '.join(known)}")
 
 
 def run_sweep(cells: Sequence[SweepCell],
@@ -306,6 +366,7 @@ def run_sweep(cells: Sequence[SweepCell],
     """
     config = config or SweepConfig()
     ordered = tuple(sorted(set(cells)))
+    validate_cell_algorithms(ordered, config.mode, config.breakdown)
     if cache is None:
         root = config.cache_dir
         cache = ResultCache(root) if root else ResultCache()
@@ -316,7 +377,8 @@ def run_sweep(cells: Sequence[SweepCell],
     fingerprints = {
         cell: cell_fingerprint(specs[cell.machine], cell.op,
                                cell.nbytes, cell.p, cell_config,
-                               config.mode, config.breakdown)
+                               config.mode, config.breakdown,
+                               algorithm=cell.algorithm or None)
         for cell in ordered
     }
 
@@ -337,7 +399,8 @@ def run_sweep(cells: Sequence[SweepCell],
             computed, quarantined, requeued = \
                 _evaluate_parallel(missing, config)
         else:
-            computed = _evaluate_batched(missing, specs, config.mode)
+            computed, quarantined = _evaluate_batched(missing, specs,
+                                                      config.mode)
         for cell in missing:
             if cell in quarantined:
                 continue

@@ -27,16 +27,24 @@ __all__ = ["SweepCell", "SweepGrid", "GRID_PRESETS", "preset_grid",
 
 @dataclass(frozen=True, order=True)
 class SweepCell:
-    """One (machine, op, m, p) grid point."""
+    """One (machine, op, m, p) grid point.
+
+    ``algorithm`` optionally overrides the machine's fixed algorithm
+    choice for this cell (the tuner races candidates this way).  The
+    empty string — not ``None``, which would break the ordered
+    dataclass's sorting — means "the machine's default".
+    """
 
     machine: str
     op: str
     nbytes: int
     p: int
+    algorithm: str = ""
 
     def key(self) -> str:
         """Human-readable stable identifier, e.g. ``sp2/alltoall/1024/32``."""
-        return f"{self.machine}/{self.op}/{self.nbytes}/{self.p}"
+        base = f"{self.machine}/{self.op}/{self.nbytes}/{self.p}"
+        return f"{base}/{self.algorithm}" if self.algorithm else base
 
 
 @dataclass(frozen=True)

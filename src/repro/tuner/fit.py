@@ -1,0 +1,121 @@
+"""Fitting crossover points from raced candidate timings.
+
+:func:`fit_decision_table` turns the tuner's raw grid of per-cell
+candidate times into the compact crossover form of
+:class:`~repro.tuner.table.DecisionTable`: per (machine, op), the
+winner at each measured (m, p) point, compressed into ``min_bytes`` /
+``min_p`` thresholds placed at the geometric mean of adjacent measured
+points — the standard way to split a decade-spaced grid (a message
+size between two measurements is attributed to whichever side it is
+closer to on a log scale).  Everything is integer arithmetic and
+sorted iteration, so the fit is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .table import DecisionEntry, DecisionRule, DecisionTable
+
+__all__ = ["fit_decision_table"]
+
+#: (machine, op, nbytes, p) -> {algorithm: time_us}.
+CellTimes = Mapping[Tuple[str, str, int, int], Mapping[str, float]]
+
+
+def _winner(times: Mapping[str, float], incumbent: str) -> str:
+    """Fastest algorithm; ties go to the incumbent, then lexicographic
+    (a tie must never flip a cell away from the paper's choice)."""
+    return min(sorted(times),
+               key=lambda name: (times[name],
+                                 0 if name == incumbent else 1, name))
+
+
+def _threshold(below: int, above: int, floor: int) -> int:
+    """Crossover between two measured grid points: their geometric
+    mean, kept strictly above both the lower point (so a measured cell
+    is always governed by its own winner, even on adjacent grid points
+    where ``isqrt`` truncates onto ``below``) and the previous
+    threshold."""
+    return max(math.isqrt(below * above), below + 1, floor + 1)
+
+
+def _fit_rules(sizes: Sequence[int],
+               winners: Mapping[int, str]) -> Tuple[DecisionRule, ...]:
+    """Compress per-size winners into ``min_bytes`` rules."""
+    rules: List[DecisionRule] = []
+    previous_size = None
+    for size in sizes:
+        name = winners[size]
+        if not rules:
+            rules.append(DecisionRule(min_bytes=0, algorithm=name))
+        elif name != rules[-1].algorithm:
+            cut = _threshold(previous_size, size, rules[-1].min_bytes)
+            rules.append(DecisionRule(min_bytes=cut, algorithm=name))
+        previous_size = size
+    return tuple(rules)
+
+
+def fit_decision_table(times: CellTimes,
+                       defaults: Mapping[Tuple[str, str], str]
+                       ) -> Tuple[DecisionTable,
+                                  List[Dict[str, object]]]:
+    """Fit crossovers from raced times; report the flipped cells.
+
+    Returns ``(table, flips)``.  ``flips`` lists every measured cell
+    whose winner beats the machine's fixed choice, with both times and
+    the speedup — the acceptance evidence that loading the table
+    actually lowers modeled time somewhere.
+    """
+    grouped: Dict[Tuple[str, str],
+                  Dict[int, Dict[int, Mapping[str, float]]]] = {}
+    for (machine, op, nbytes, p), cell_times in times.items():
+        grouped.setdefault((machine, op), {}) \
+            .setdefault(p, {})[nbytes] = cell_times
+
+    entries: Dict[Tuple[str, str], Tuple[DecisionEntry, ...]] = {}
+    used_defaults: Dict[Tuple[str, str], str] = {}
+    flips: List[Dict[str, object]] = []
+    for (machine, op) in sorted(grouped):
+        incumbent = defaults.get((machine, op), "")
+        by_p = grouped[(machine, op)]
+        bands: List[DecisionEntry] = []
+        previous_p = None
+        for p in sorted(by_p):
+            by_size = by_p[p]
+            sizes = sorted(by_size)
+            winners = {}
+            for nbytes in sizes:
+                cell_times = by_size[nbytes]
+                name = _winner(cell_times, incumbent)
+                winners[nbytes] = name
+                default_time = cell_times.get(incumbent)
+                if name != incumbent and default_time is not None \
+                        and cell_times[name] < default_time:
+                    flips.append({
+                        "machine": machine,
+                        "op": op,
+                        "nbytes": nbytes,
+                        "p": p,
+                        "algorithm": name,
+                        "time_us": cell_times[name],
+                        "default_algorithm": incumbent,
+                        "default_time_us": default_time,
+                        "speedup": default_time / cell_times[name],
+                    })
+            rules = _fit_rules(sizes, winners)
+            if not bands:
+                bands.append(DecisionEntry(min_p=0, rules=rules))
+            elif rules != bands[-1].rules:
+                cut = _threshold(previous_p, p, bands[-1].min_p)
+                bands.append(DecisionEntry(min_p=cut, rules=rules))
+            previous_p = p
+        entries[(machine, op)] = tuple(bands)
+        if incumbent:
+            used_defaults[(machine, op)] = incumbent
+
+    flips.sort(key=lambda f: (f["machine"], f["op"], f["nbytes"],
+                              f["p"]))
+    return DecisionTable(entries=entries,
+                         defaults=used_defaults), flips

@@ -95,3 +95,93 @@ def test_binomial_gather_aggregates_subtree_bytes():
     nic_bytes = sum(node.nic.messages_sent for node in
                     world.machine.nodes)
     assert nic_bytes == 7  # 7 messages, but carrying 700 bytes total
+
+
+# -- non-divisible sizes and awkward communicators (regression) ---------
+
+def _drive_stub(name, p, nbytes, root=0):
+    from tests.mpi.test_zoo_algorithms import drive
+    from repro.mpi.collectives import get_algorithm
+    return drive(get_algorithm(name), p, nbytes, root)
+
+
+@pytest.mark.parametrize("p", [3, 5, 7, 12])
+@pytest.mark.parametrize("root", [0, 1, -1])
+@pytest.mark.parametrize("nbytes", [11, 101, 4097])
+def test_vandegeijn_moves_exactly_nbytes_when_indivisible(p, root,
+                                                          nbytes):
+    """Regression: the uniform ceil(nbytes/p) chunk over-sent whenever
+    p did not divide nbytes; blocks must sum to exactly nbytes."""
+    assert nbytes % p != 0
+    root = p - 1 if root == -1 else root
+    contexts = _drive_stub("scatter_allgather_broadcast", p, nbytes,
+                           root)
+    for ctx in contexts:
+        # Scatter leg: each non-root receives its own block from the
+        # root; ring leg: everyone receives the other p - 1 blocks.
+        # Together each rank takes delivery of exactly nbytes — the
+        # root already holds its own block, so one block less.
+        if ctx.rank == root:
+            assert ctx.received_bytes == nbytes - \
+                _own_block(nbytes, p, ctx.rank, root)
+        else:
+            assert ctx.received_bytes == nbytes
+
+
+def _own_block(nbytes, p, rank, root):
+    from repro.mpi.collectives.extensions import block_counts
+    from repro.mpi.collectives import virtual_rank
+    return block_counts(nbytes, p)[virtual_rank(rank, root, p)]
+
+
+@pytest.mark.parametrize("nbytes", [4096, 4100])
+def test_vandegeijn_total_bytes_match_divisible_case(nbytes):
+    """The indivisible case must move the same per-rank volume as the
+    divisible one (plus the 4-byte remainder), not p extra bytes per
+    ring step."""
+    p = 8
+    contexts = _drive_stub("scatter_allgather_broadcast", p, nbytes)
+    total = sum(ctx.sent_bytes for ctx in contexts)
+    # Scatter moves (p-1)/p of the message, the ring moves (p-1)
+    # copies of it: total = (p-1)/p * nbytes + (p-1) * nbytes.
+    from repro.mpi.collectives.extensions import block_counts
+    counts = block_counts(nbytes, p)
+    expected = (nbytes - counts[0]) + (p - 1) * nbytes
+    assert total == expected
+
+
+@pytest.mark.parametrize("p", [3, 5, 7, 12])
+@pytest.mark.parametrize("root", [0, 1, -1])
+def test_extension_algorithms_awkward_sizes_and_roots(p, root):
+    """Satellite audit: every extension algorithm completes with exact
+    byte accounting at non-power-of-two p and nonzero roots."""
+    root = p - 1 if root == -1 else root
+    nbytes = 1000
+
+    contexts = _drive_stub("ring_allgather", p, nbytes, root)
+    assert all(ctx.received_bytes == (p - 1) * nbytes
+               for ctx in contexts)
+
+    contexts = _drive_stub("ring_reduce_scatter", p, nbytes, root)
+    assert all(ctx.combined_bytes == (p - 1) * nbytes
+               for ctx in contexts)
+
+    contexts = _drive_stub("binomial_tree_gather", p, nbytes, root)
+    assert sum(ctx.messages_sent for ctx in contexts) == p - 1
+    # Subtree aggregation: the root takes delivery of every other
+    # rank's block exactly once, however the tree folds.
+    assert contexts[root].received_bytes == (p - 1) * nbytes
+    assert contexts[root].sent_bytes == 0
+
+
+@pytest.mark.parametrize("p", [3, 5, 7, 12])
+@pytest.mark.parametrize("root", [0, 1, -1])
+def test_vandegeijn_nonzero_root_completes_on_simulator(p, root):
+    root = p - 1 if root == -1 else root
+    spec = _with_algorithm(SP2, "broadcast",
+                           "scatter_allgather_broadcast")
+    world = MpiWorld(spec, p, seed=9)
+    elapsed = world.run_collective("broadcast", 4097, root=root)
+    assert elapsed > 0
+    expected = (p - 1) + p * (p - 1)
+    assert world.comm.transport.messages_delivered == expected

@@ -1,0 +1,304 @@
+"""Correctness sweep over the algorithm zoo (and a message harness).
+
+The stub harness below drives an algorithm's per-rank generators with
+a round-robin run-to-block scheduler over an in-memory message board,
+so tests can assert *exact* byte movement — every send matched, every
+byte accounted — at awkward communicator sizes (non-power-of-two p,
+nonzero roots) without a full simulation.  The real-simulator tests
+then lock in end-to-end completion on every machine.
+"""
+
+import pytest
+
+from repro.machines import PARAGON, SP2, T3D, get_machine_spec
+from repro.mpi import MpiWorld
+from repro.mpi.collectives import get_algorithm
+from repro.mpi.collectives.zoo import (
+    make_segmented_broadcast,
+    make_segmented_reduce,
+)
+
+AWKWARD_SIZES = [3, 5, 7, 12]
+ROOTS = [0, 1, -1]  # -1 means p - 1
+
+ZOO = {
+    "recursive_doubling_allgather": "allgather",
+    "recursive_doubling_allreduce": "allreduce",
+    "recursive_halving_reduce_scatter": "reduce_scatter",
+    "rabenseifner_allreduce": "allreduce",
+    "segmented_binomial_broadcast": "broadcast",
+    "segmented_binomial_reduce": "reduce",
+}
+
+
+# -- the stub harness ---------------------------------------------------
+
+_BLOCKED = object()
+
+
+class StubContext:
+    """Just enough of RankContext to drive an algorithm generator."""
+
+    def __init__(self, board, rank, size):
+        self.board = board
+        self.rank = rank
+        self.size = size
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        self.combined_bytes = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def coll_send(self, seq, phase, dst, nbytes, op=None, **kwargs):
+        assert 0 <= dst < self.size and dst != self.rank
+        assert nbytes >= 0
+        key = (self.rank, dst, phase)
+        assert key not in self.board, f"phase collision on {key}"
+        self.board[key] = nbytes
+        self.sent_bytes += nbytes
+        self.messages_sent += 1
+        yield
+
+    def coll_post(self, seq, phase, src):
+        return (src, phase)
+
+    def coll_wait(self, posted, op=None, **kwargs):
+        return (yield from self._recv(*posted))
+
+    def coll_recv(self, seq, phase, src, op=None, **kwargs):
+        return (yield from self._recv(src, phase))
+
+    def combine(self, nbytes):
+        assert nbytes >= 0
+        self.combined_bytes += nbytes
+        yield
+
+    def delay(self, base_us):
+        yield
+
+    def _recv(self, src, phase):
+        key = (src, self.rank, phase)
+        while key not in self.board:
+            yield _BLOCKED
+        nbytes = self.board.pop(key)
+        self.received_bytes += nbytes
+        self.messages_received += 1
+        return nbytes
+
+
+def drive(algorithm, size, nbytes, root=0):
+    """Run every rank to completion; fail on deadlock or lost sends."""
+    board = {}
+    contexts = [StubContext(board, rank, size) for rank in range(size)]
+    programs = {rank: algorithm(contexts[rank], 0, nbytes, root)
+                for rank in range(size)}
+    while programs:
+        progressed = False
+        for rank in sorted(programs):
+            while True:
+                try:
+                    step = next(programs[rank])
+                except StopIteration:
+                    del programs[rank]
+                    progressed = True
+                    break
+                if step is _BLOCKED:
+                    break
+                progressed = True
+        if not progressed:
+            waiting = sorted(programs)
+            raise AssertionError(
+                f"deadlock: ranks {waiting} blocked, board {board}")
+    assert not board, f"unmatched sends left on the board: {board}"
+    return contexts
+
+
+def _root(p, root):
+    return p - 1 if root == -1 else root
+
+
+# -- exact byte accounting at awkward sizes -----------------------------
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES + [2, 4, 8, 16])
+@pytest.mark.parametrize("nbytes", [0, 1, 10, 4096])
+def test_recursive_doubling_allgather_byte_exact(p, nbytes):
+    contexts = drive(get_algorithm("recursive_doubling_allgather"),
+                     p, nbytes)
+    core = 1 << (p.bit_length() - 1)
+    for ctx in contexts:
+        if ctx.rank < core:
+            # A core rank obtains every other rank's block exactly
+            # once (a folded twin's via the fold exchange).
+            assert ctx.received_bytes == (p - 1) * nbytes
+        else:
+            # A folded rank contributes its block and gets the full
+            # gathered result back.
+            assert ctx.sent_bytes == nbytes
+            assert ctx.received_bytes == p * nbytes
+
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES + [2, 4, 8, 16])
+@pytest.mark.parametrize(
+    "name", ["recursive_doubling_allreduce", "rabenseifner_allreduce"])
+def test_allreduce_zoo_conserves_and_combines(p, name):
+    nbytes = 4096
+    contexts = drive(get_algorithm(name), p, nbytes)
+    total_sent = sum(ctx.sent_bytes for ctx in contexts)
+    total_received = sum(ctx.received_bytes for ctx in contexts)
+    assert total_sent == total_received
+    core = 1 << (p.bit_length() - 1)
+    extra = p - core
+    for ctx in contexts:
+        if ctx.rank >= core:
+            # Folded ranks hand their vector over and receive the
+            # reduced result — exactly nbytes each way.
+            assert ctx.sent_bytes == nbytes
+            assert ctx.received_bytes == nbytes
+            assert ctx.combined_bytes == 0
+    combined = sum(ctx.combined_bytes for ctx in contexts)
+    if name == "rabenseifner_allreduce":
+        # Reduce-scatter + allgather is combine-minimal: p vectors
+        # reduce into one, p - 1 vector combines in total (the
+        # per-round group sums telescope to core - 1, plus the folds).
+        assert combined == (p - 1) * nbytes
+    else:
+        # Recursive doubling redundantly combines the full vector on
+        # every core rank every round — that is its price for halving
+        # the latency of short messages.
+        rounds = core.bit_length() - 1
+        assert combined == (core * rounds + extra) * nbytes
+
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES + [2, 4, 8, 16])
+def test_recursive_halving_reduce_scatter_byte_exact(p):
+    nbytes = 64  # per result block; each rank contributes p * nbytes
+    contexts = drive(get_algorithm("recursive_halving_reduce_scatter"),
+                     p, nbytes)
+    core = 1 << (p.bit_length() - 1)
+    assert sum(ctx.combined_bytes for ctx in contexts) == \
+        (p - 1) * p * nbytes
+    for ctx in contexts:
+        if ctx.rank >= core:
+            assert ctx.sent_bytes == p * nbytes
+            assert ctx.received_bytes == nbytes
+
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES)
+@pytest.mark.parametrize("root", ROOTS)
+@pytest.mark.parametrize("nbytes", [0, 10, 4096, 10000])
+def test_segmented_broadcast_byte_exact(p, root, nbytes):
+    root = _root(p, root)
+    contexts = drive(get_algorithm("segmented_binomial_broadcast"),
+                     p, nbytes, root)
+    for ctx in contexts:
+        # Every non-root receives the message exactly once, segmented
+        # or not — the pipelined tree must not duplicate or drop bytes.
+        expected = 0 if ctx.rank == root else nbytes
+        assert ctx.received_bytes == expected
+
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES)
+@pytest.mark.parametrize("root", ROOTS)
+def test_segmented_reduce_byte_exact(p, root):
+    nbytes = 10000  # three segments at the default segment size
+    root = _root(p, root)
+    contexts = drive(get_algorithm("segmented_binomial_reduce"),
+                     p, nbytes, root)
+    for ctx in contexts:
+        expected = 0 if ctx.rank == root else nbytes
+        assert ctx.sent_bytes == expected
+    assert sum(ctx.combined_bytes for ctx in contexts) == \
+        (p - 1) * nbytes
+
+
+@pytest.mark.parametrize("segment", [1, 100, 4096, 1 << 20])
+def test_segment_size_is_tunable(segment):
+    p, nbytes = 5, 10000
+    broadcast = make_segmented_broadcast(segment)
+    contexts = drive(broadcast, p, nbytes)
+    assert all(ctx.received_bytes == nbytes
+               for ctx in contexts if ctx.rank != 0)
+    import math
+    expected_segments = max(1, math.ceil(nbytes / segment))
+    leaf = max(ctx.rank for ctx in contexts)
+    assert contexts[leaf].messages_received == expected_segments
+
+    reduce_ = make_segmented_reduce(segment)
+    contexts = drive(reduce_, p, nbytes)
+    # The root combines one operand per direct child; the interior
+    # ranks handle the rest — (p - 1) contributions overall.
+    assert sum(ctx.combined_bytes for ctx in contexts) == \
+        (p - 1) * nbytes
+
+
+def test_segment_factory_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        make_segmented_broadcast(0)
+    with pytest.raises(ValueError):
+        make_segmented_reduce(-1)
+
+
+# -- real-simulator completion on every machine -------------------------
+
+def _spec_with(spec, op, algorithm):
+    from dataclasses import replace
+    return replace(spec, name=f"{spec.name}-zoo",
+                   algorithms={**dict(spec.algorithms), op: algorithm})
+
+
+@pytest.mark.parametrize("spec", [SP2, T3D, PARAGON],
+                         ids=lambda s: s.name)
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_runs_on_every_machine(spec, name):
+    op = ZOO[name]
+    world = MpiWorld(_spec_with(spec, op, name), 12, seed=5)
+    elapsed = world.run_collective(op, 4096)
+    assert elapsed > 0
+
+
+@pytest.mark.parametrize("p", AWKWARD_SIZES)
+@pytest.mark.parametrize("root", ROOTS)
+@pytest.mark.parametrize("name", ["segmented_binomial_broadcast",
+                                  "segmented_binomial_reduce"])
+def test_segmented_trees_complete_at_nonzero_roots(p, root, name):
+    op = ZOO[name]
+    world = MpiWorld(_spec_with(SP2, op, name), p, seed=5)
+    elapsed = world.run_collective(op, 10000, root=_root(p, root))
+    assert elapsed > 0
+
+
+def test_rabenseifner_beats_composed_allreduce_long_messages():
+    tuned = _spec_with(SP2, "allreduce", "rabenseifner_allreduce")
+    baseline = MpiWorld(SP2, 16, seed=5).run_collective("allreduce",
+                                                        262144)
+    improved = MpiWorld(tuned, 16, seed=5).run_collective("allreduce",
+                                                          262144)
+    assert improved < baseline
+
+
+def test_recursive_doubling_beats_composed_allreduce_short_messages():
+    tuned = _spec_with(SP2, "allreduce", "recursive_doubling_allreduce")
+    baseline = MpiWorld(SP2, 16, seed=5).run_collective("allreduce", 16)
+    improved = MpiWorld(tuned, 16, seed=5).run_collective("allreduce",
+                                                          16)
+    assert improved < baseline
+
+
+def test_decision_table_threads_through_world():
+    """MpiWorld(decision_table=...) flips the dispatched algorithm."""
+
+    class OneCellTable:
+        def lookup(self, machine, op, nbytes, p):
+            if op == "allgather":
+                return "ring_allgather"
+            return None
+
+    spec = get_machine_spec("t3d")
+    world = MpiWorld("t3d", 8, seed=3,
+                     decision_table=OneCellTable())
+    world.run_collective("allgather", 1024)
+    # Ring allgather: every rank sends p - 1 blocks.
+    assert all(node.nic.messages_sent == 7
+               for node in world.machine.nodes)
+    # The spec object handed to MpiWorld was not mutated.
+    assert getattr(spec, "_decision_table", None) is None

@@ -410,3 +410,107 @@ def test_perf_command_flame_writes_folded_stacks(capsys, tmp_path):
     lines = folded.read_text().strip().splitlines()
     assert lines
     assert any(";" in line for line in lines)  # nested stacks present
+
+
+def test_tune_command_writes_byte_stable_artifact(capsys, tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    args = ["tune", "--machines", "sp2", "--grid", "smoke",
+            "--no-cache"]
+    assert main(args + ["--out", str(first)]) == 0
+    out = capsys.readouterr().out
+    assert "flips" in out
+    assert str(first) in out
+    assert main(args + ["--out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_tune_command_artifact_loads_as_decision_table(capsys,
+                                                       tmp_path):
+    from repro.tuner import load_decision_table
+
+    out = tmp_path / "BENCH_tuning.json"
+    assert main(["tune", "--machines", "t3d", "--grid", "smoke",
+                 "--no-cache", "--out", str(out)]) == 0
+    table = load_decision_table(out)
+    assert table.entries
+    table.validate()
+
+
+def test_tune_command_rejects_unknown_grid_and_machine(capsys):
+    assert main(["tune", "--grid", "galaxy", "--no-cache"]) == 2
+    assert "known grids" in capsys.readouterr().err
+    assert main(["tune", "--machines", "cm5", "--no-cache"]) == 2
+    assert "cm5" in capsys.readouterr().err
+
+
+def test_tune_command_rejects_unknown_op(capsys):
+    assert main(["tune", "--machines", "sp2", "--grid", "smoke",
+                 "--ops", "teleport", "--no-cache"]) == 2
+    assert "teleport" in capsys.readouterr().err
+
+
+def test_sweep_with_decision_table_flips_cells(capsys, tmp_path):
+    table = tmp_path / "BENCH_tuning.json"
+    assert main(["tune", "--machines", "sp2", "--grid", "smoke",
+                 "--no-cache", "--out", str(table)]) == 0
+    capsys.readouterr()
+    plain_out = tmp_path / "plain.json"
+    tuned_out = tmp_path / "tuned.json"
+    # fig3's broadcast panel reaches the long-message, large-p region
+    # where the tuned crossovers actually fire (the sweep smoke grid
+    # stops at p=4 and 1024 bytes, where the paper's defaults win).
+    base = ["sweep", "--grid", "fig3", "--machines", "sp2",
+            "--ops", "broadcast", "--no-cache"]
+    assert main(base + ["--out", str(plain_out)]) == 0
+    assert main(base + ["--decision-table", str(table),
+                        "--out", str(tuned_out)]) == 0
+    import json
+    plain = json.loads(plain_out.read_text())
+    tuned = json.loads(tuned_out.read_text())
+    overridden = [row for row in tuned["cells"] if "algorithm" in row]
+    assert overridden, "the tuned table flipped no smoke-grid cell"
+    # Every flipped cell is strictly faster than the plain run.
+    plain_times = {(row["machine"], row["op"], row["nbytes"],
+                    row["p"]): row["result"]["time_us"]
+                   for row in plain["cells"]}
+    for row in overridden:
+        key = (row["machine"], row["op"], row["nbytes"], row["p"])
+        assert row["result"]["time_us"] < plain_times[key]
+
+
+def test_sweep_decision_table_requires_sim_mode(capsys, tmp_path):
+    table = tmp_path / "BENCH_tuning.json"
+    assert main(["tune", "--machines", "sp2", "--grid", "smoke",
+                 "--no-cache", "--out", str(table)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--grid", "smoke", "--mode", "analytic",
+                 "--decision-table", str(table), "--no-cache"]) == 2
+    assert "sim" in capsys.readouterr().err
+
+
+def test_sweep_decision_table_rejects_stale_table(capsys, tmp_path):
+    import json
+    from repro.tuner import TUNING_SCHEMA
+
+    table = tmp_path / "stale.json"
+    table.write_text(json.dumps({
+        "schema": TUNING_SCHEMA,
+        "machines": {"sp2": {"broadcast": {
+            "default": None,
+            "entries": [{"min_p": 0, "rules": [
+                {"min_bytes": 0,
+                 "algorithm": "no_such_algorithm"}]}],
+        }}},
+    }))
+    assert main(["sweep", "--grid", "smoke",
+                 "--decision-table", str(table), "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "no_such_algorithm" in err
+    assert "known algorithms" in err
+
+
+def test_sweep_decision_table_missing_file(capsys, tmp_path):
+    assert main(["sweep", "--grid", "smoke", "--decision-table",
+                 str(tmp_path / "absent.json"), "--no-cache"]) == 2
+    assert capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Crossover fitting: winners, thresholds, bands, flips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.collectives import algorithm_names
+from repro.tuner import (
+    DecisionEntry,
+    DecisionRule,
+    fit_decision_table,
+)
+
+INCUMBENT = "binomial_broadcast"
+CHALLENGER = "scatter_allgather_broadcast"
+
+
+def _times(rows):
+    """rows: iterable of (nbytes, p, {algo: time})."""
+    return {("sp2", "broadcast", nbytes, p): cell
+            for nbytes, p, cell in rows}
+
+
+def test_ties_never_flip_away_from_the_incumbent():
+    table, flips = fit_decision_table(
+        _times([(16, 4, {CHALLENGER: 10.0, INCUMBENT: 10.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    assert table.lookup("sp2", "broadcast", 16, 4) == INCUMBENT
+    assert flips == []
+
+
+def test_tie_between_challengers_is_lexicographic():
+    # Neither tied name is the incumbent: the smaller name wins, so the
+    # fit does not depend on dict iteration order.
+    table, _ = fit_decision_table(
+        _times([(16, 4, {"ring_allgather": 5.0,
+                         "recursive_doubling_allgather": 5.0,
+                         INCUMBENT: 9.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    assert table.lookup("sp2", "broadcast", 16, 4) == \
+        "recursive_doubling_allgather"
+
+
+def test_threshold_is_geometric_mean_of_adjacent_sizes():
+    table, _ = fit_decision_table(
+        _times([(1024, 4, {INCUMBENT: 1.0, CHALLENGER: 2.0}),
+                (16384, 4, {INCUMBENT: 2.0, CHALLENGER: 1.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    (band,) = table.entries[("sp2", "broadcast")]
+    assert band == DecisionEntry(min_p=0, rules=(
+        DecisionRule(0, INCUMBENT),
+        DecisionRule(math.isqrt(1024 * 16384), CHALLENGER),
+    ))
+    assert band.rules[1].min_bytes == 4096
+
+
+def test_identical_rules_merge_into_one_band():
+    rows = []
+    for p in (4, 16, 64):
+        rows.append((16, p, {INCUMBENT: 1.0, CHALLENGER: 2.0}))
+        rows.append((65536, p, {INCUMBENT: 2.0, CHALLENGER: 1.0}))
+    table, _ = fit_decision_table(
+        _times(rows), {("sp2", "broadcast"): INCUMBENT})
+    bands = table.entries[("sp2", "broadcast")]
+    assert len(bands) == 1
+    assert bands[0].min_p == 0
+
+
+def test_band_splits_at_geometric_mean_of_p():
+    table, _ = fit_decision_table(
+        _times([(16, 4, {INCUMBENT: 1.0, CHALLENGER: 2.0}),
+                (16, 16, {INCUMBENT: 2.0, CHALLENGER: 1.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    bands = table.entries[("sp2", "broadcast")]
+    assert [band.min_p for band in bands] == [0, math.isqrt(4 * 16)]
+    assert table.lookup("sp2", "broadcast", 16, 7) == INCUMBENT
+    assert table.lookup("sp2", "broadcast", 16, 8) == CHALLENGER
+
+
+def test_flips_record_both_times_and_speedup_sorted():
+    table, flips = fit_decision_table(
+        _times([(65536, 16, {INCUMBENT: 4.0, CHALLENGER: 2.0}),
+                (16384, 16, {INCUMBENT: 3.0, CHALLENGER: 2.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    assert [flip["nbytes"] for flip in flips] == [16384, 65536]
+    flip = flips[1]
+    assert flip == {"machine": "sp2", "op": "broadcast",
+                    "nbytes": 65536, "p": 16,
+                    "algorithm": CHALLENGER, "time_us": 2.0,
+                    "default_algorithm": INCUMBENT,
+                    "default_time_us": 4.0, "speedup": 2.0}
+
+
+def test_slower_challenger_wins_nothing_and_flips_nothing():
+    table, flips = fit_decision_table(
+        _times([(65536, 16, {INCUMBENT: 1.0, CHALLENGER: 9.0})]),
+        {("sp2", "broadcast"): INCUMBENT})
+    assert flips == []
+    assert table.lookup("sp2", "broadcast", 65536, 16) == INCUMBENT
+
+
+# -- property: fitted tables only ever name registered algorithms -------
+
+_REGISTERED = sorted(algorithm_names())
+
+_cell = st.dictionaries(st.sampled_from(_REGISTERED),
+                        st.floats(min_value=0.001, max_value=1e9,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=1, max_size=4)
+
+_grid = st.dictionaries(
+    st.tuples(st.sampled_from(["sp2", "t3d", "paragon"]),
+              st.sampled_from(["broadcast", "allreduce", "gather"]),
+              st.sampled_from([16, 1024, 65536]),
+              st.sampled_from([2, 4, 16, 64])),
+    _cell, min_size=1, max_size=24)
+
+
+@settings(max_examples=50, deadline=None)
+@given(times=_grid, incumbent=st.sampled_from(_REGISTERED))
+def test_fitted_table_only_names_registered_algorithms(times, incumbent):
+    defaults = {key[:2]: incumbent for key in times}
+    table, flips = fit_decision_table(times, defaults)
+    table.validate()  # raises on any unregistered name
+    for (machine, op, nbytes, p) in times:
+        choice = table.lookup(machine, op, nbytes, p)
+        assert choice in _REGISTERED
+        # The fitted choice at a measured point is exactly the raced
+        # winner there (thresholds never misattribute grid points).
+        cell = times[(machine, op, nbytes, p)]
+        best = min(cell.values())
+        assert cell[choice] == best
+    for flip in flips:
+        assert flip["algorithm"] in _REGISTERED
+        assert flip["speedup"] > 1.0
