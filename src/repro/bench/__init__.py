@@ -8,7 +8,7 @@ from .compare import (
     values_match,
     winner,
 )
-from .asciiplot import ascii_plot, plot_figure
+from .asciiplot import ascii_plot, plot_figure, sparkline
 from .degradation import ChaosRun, chaos_report, degradation_curves, \
     fault_counters, run_chaos
 from .diagnostics import RunDiagnostics, collect_diagnostics
@@ -64,6 +64,7 @@ __all__ = [
     "Table3Row",
     "ascii_plot",
     "plot_figure",
+    "sparkline",
     "collect_diagnostics",
     "bench_config",
     "bench_machine_sizes",

@@ -12,10 +12,43 @@ from __future__ import annotations
 import math
 from typing import List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["ascii_plot", "plot_figure"]
+__all__ = ["ascii_plot", "plot_figure", "sparkline"]
 
 #: Series markers, assigned in sorted-key order.
 _MARKERS = "ox+*#@%&abcdefgh"
+
+#: Sparkline resolution: eight block heights, empty-to-full.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float],
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line block-character chart of ``values``.
+
+    Values map linearly onto the eight block heights between ``lo``
+    and ``hi`` (defaulting to the data's own range; a flat series
+    renders at the lowest block).  Used by ``repro-bench audit
+    --trend`` to show drift history in a terminal.
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    values = [float(v) for v in values]
+    lo = min(values) if lo is None else float(lo)
+    hi = max(values) if hi is None else float(hi)
+    if hi < lo:
+        raise ValueError(f"bad sparkline range [{lo}, {hi}]")
+    span = hi - lo
+    cells = []
+    for value in values:
+        if span == 0:
+            index = 0
+        else:
+            fraction = (min(max(value, lo), hi) - lo) / span
+            index = min(len(_SPARK_BLOCKS) - 1,
+                        int(fraction * (len(_SPARK_BLOCKS) - 1) + 0.5))
+        cells.append(_SPARK_BLOCKS[index])
+    return "".join(cells)
 
 
 def _log_or_linear(values: Sequence[float], log: bool) -> bool:

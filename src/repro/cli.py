@@ -19,8 +19,12 @@ Examples::
         --faults midflight-outage
     repro-bench audit tests/golden/BENCH_sweep_baseline.json \\
         --out BENCH_drift.json
+    repro-bench audit BENCH_sweep.json --trend \\
+        --history BENCH_drift.json
     repro-bench diff tests/golden/BENCH_sweep_baseline.json \\
         BENCH_sweep.json
+    repro-bench dash --artifacts . --capture t3d:broadcast \\
+        --faults single-link-outage --out site
 """
 
 from __future__ import annotations
@@ -337,6 +341,43 @@ def _build_parser() -> argparse.ArgumentParser:
                             "artifact (BENCH_drift.json)")
     audit.add_argument("--top", type=_positive_int, default=5,
                        help="worst cells / breaches to list")
+    audit.add_argument("--trend", action="store_true",
+                       help="also render drift history as terminal "
+                            "sparklines (this audit is the newest "
+                            "generation)")
+    audit.add_argument("--history", action="append", metavar="PATH",
+                       help="prior drift artifact for --trend, oldest "
+                            "first (repeatable; default: the --out "
+                            "path, or BENCH_drift.json, if it already "
+                            "exists)")
+
+    dash = sub.add_parser(
+        "dash",
+        help="index every artifact into the canonical BENCH_ledger."
+             "json bundle and render the self-contained HTML "
+             "dashboard (replay, drift/perf trends, tuner heatmaps)")
+    dash.add_argument("--artifacts", action="append", metavar="PATH",
+                      help="artifact file or directory to index "
+                           "(repeatable; default: the current "
+                           "directory, scanned recursively)")
+    dash.add_argument("--capture", metavar="MACHINE:OP",
+                      help="also run one traced collective and embed "
+                           "its hop-by-hop replay (e.g. t3d:broadcast)")
+    dash.add_argument("--bytes", type=int, default=4096,
+                      help="message size for --capture")
+    dash.add_argument("--nodes", type=int, default=16,
+                      help="node count for --capture")
+    dash.add_argument("--seed", type=int, default=0,
+                      help="seed for --capture")
+    dash.add_argument("--faults", metavar="PRESET",
+                      help="run the --capture collective under a "
+                           "fault-plan preset so the replay shows "
+                           "recovery work")
+    dash.add_argument("--out", metavar="DIR", default="site",
+                      help="output directory (default site/); never "
+                           "scanned for inputs")
+    dash.add_argument("--open", action="store_true",
+                      help="open the generated page in a browser")
 
     diff = sub.add_parser(
         "diff",
@@ -666,10 +707,14 @@ def _run_perf_command(args) -> int:
 
 
 def _run_audit_command(args) -> int:
+    from pathlib import Path
+
     from .obs.drift import (
         DriftTolerance,
         audit_artifact,
         build_drift_artifact,
+        format_drift_trend,
+        load_drift_artifact,
         write_drift_artifact,
     )
     from .runner import load_artifact
@@ -681,10 +726,82 @@ def _run_audit_command(args) -> int:
     report = audit_artifact(artifact,
                             DriftTolerance(max_rel_error=args.rtol))
     print(report.format(top=args.top))
+    payload = build_drift_artifact(report, worst=args.top)
+    if args.trend:
+        # Prior generations load before --out overwrites its file.
+        history = args.history
+        if history is None:
+            default = Path(args.out or "BENCH_drift.json")
+            history = [str(default)] if default.is_file() else []
+        try:
+            generations = [load_drift_artifact(path)
+                           for path in history]
+        except (OSError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        generations.append(payload)
+        print()
+        print(format_drift_trend(generations))
     if args.out:
-        payload = build_drift_artifact(report, worst=args.top)
         print(f"wrote {write_drift_artifact(payload, args.out)}")
     return 0 if report.passed() else 1
+
+
+def _run_dash_command(args) -> int:
+    from pathlib import Path
+
+    from .dash import write_dashboard
+    from .obs.ledger import (
+        build_ledger,
+        discover_artifacts,
+        write_ledger,
+    )
+    out_dir = Path(args.out)
+    try:
+        entries = discover_artifacts(args.artifacts or ["."],
+                                     exclude=[out_dir])
+    except ValueError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.capture:
+        machine, _, op = args.capture.partition(":")
+        if machine not in ("sp2", "t3d", "paragon") or not op:
+            print(f"--capture wants MACHINE:OP with machine one of "
+                  f"sp2/t3d/paragon, got {args.capture!r}",
+                  file=sys.stderr)
+            return 2
+        faults = None
+        if args.faults and args.faults != "none":
+            from .faults import fault_preset
+            try:
+                faults = fault_preset(args.faults)
+            except KeyError as error:
+                print(error.args[0], file=sys.stderr)
+                return 2
+        from .obs.capture import capture_collective, \
+            write_replay_frames
+        capture = capture_collective(
+            machine, op, nbytes=args.bytes, num_nodes=args.nodes,
+            seed=args.seed, faults=faults)
+        print(capture.summary())
+        replay = capture.to_replay_frames()
+        name = f"replay_{machine}_{op}.json"
+        print(f"wrote {write_replay_frames(replay, out_dir / name)}")
+        entries.append((name, "replay", replay))
+    ledger = build_ledger(entries)
+    census = ", ".join(f"{family} x{count}" for family, count
+                       in sorted(ledger["families"].items()))
+    print(f"ledger: {len(ledger['entries'])} artifact(s) "
+          f"({census or 'none'}), bundle digest "
+          f"{ledger['bundle_digest'][:16]}")
+    print(f"wrote {write_ledger(ledger, out_dir / 'BENCH_ledger.json')}")
+    page = write_dashboard(ledger, out_dir)
+    print(f"wrote {page}")
+    if args.open:
+        import webbrowser
+        webbrowser.open(page.resolve().as_uri())
+    return 0
 
 
 def _run_diff_command(args) -> int:
@@ -803,6 +920,8 @@ def _dispatch(args) -> int:
         return _run_critpath_command(args)
     elif args.command == "audit":
         return _run_audit_command(args)
+    elif args.command == "dash":
+        return _run_dash_command(args)
     elif args.command == "diff":
         return _run_diff_command(args)
     return 0

@@ -1,0 +1,13 @@
+"""Self-contained HTML dashboard rendered from a run-ledger bundle.
+
+:mod:`repro.dash` turns one ``BENCH_ledger.json`` bundle (built by
+:mod:`repro.obs.ledger`) into a single static HTML page — inline CSS,
+inline vanilla JS, inline SVG, no third-party packages, working from
+``file://`` — with a hop-by-hop topology replay of captured
+collectives, critical-path and fault-recovery overlays, drift and
+engine-throughput trend charts, and tuner decision-table heatmaps.
+"""
+
+from .build import render_dashboard_html, write_dashboard
+
+__all__ = ["render_dashboard_html", "write_dashboard"]

@@ -7,7 +7,7 @@ no wrap-around links [Dunigan 1995].
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .topology import LinkId, Topology, validate_route_endpoints
 
@@ -55,6 +55,16 @@ class Mesh2D(Topology):
         if not (0 <= x < self.width and 0 <= y < self.height):
             raise ValueError(f"coordinates ({x}, {y}) outside mesh")
         return y * self.width + x
+
+    def layout_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Grid layout: node cells centred in the unit square, matching
+        the physical mesh geometry (x right, y down)."""
+        out: Dict[int, Tuple[float, float]] = {}
+        for node in range(self.num_nodes):
+            x, y = self.coordinates(node)
+            out[node] = (round((x + 0.5) / self.width, 6),
+                         round((y + 0.5) / self.height, 6))
+        return out
 
     def links(self) -> Sequence[LinkId]:
         out: List[LinkId] = []

@@ -14,10 +14,12 @@ Links are identified by hashable ids; the conventional id is a tuple
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import (
     AbstractSet,
+    Dict,
     Hashable,
     List,
     Optional,
@@ -116,6 +118,28 @@ class Topology(ABC):
             hops.append(link)
         hops.reverse()
         return hops
+
+    # -- visual layout ------------------------------------------------------
+    def layout_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Deterministic 2-D positions for every node, in the unit
+        square, for visual replay (see :mod:`repro.dash`).
+
+        The default places nodes on a circle in node-id order starting
+        at twelve o'clock — the natural drawing for indirect fabrics
+        like the Omega network, whose internal stages have no spatial
+        node arrangement.  Direct topologies override this with their
+        physical geometry.  Coordinates are rounded to 6 decimals so
+        serialized layouts are byte-stable across platforms.
+        """
+        p = self._num_nodes
+        if p == 1:
+            return {0: (0.5, 0.5)}
+        out: Dict[int, Tuple[float, float]] = {}
+        for node in range(p):
+            angle = 2.0 * math.pi * node / p - math.pi / 2.0
+            out[node] = (round(0.5 + 0.44 * math.cos(angle), 6),
+                         round(0.5 + 0.44 * math.sin(angle), 6))
+        return out
 
     def check_node(self, node: int) -> None:
         """Raise ``ValueError`` for out-of-range node ids."""

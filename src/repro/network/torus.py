@@ -7,7 +7,7 @@ order X, Y, Z, taking the shorter direction around each ring
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .topology import LinkId, Topology, validate_route_endpoints
 
@@ -80,6 +80,24 @@ class Torus3D(Topology):
         if not (0 <= x < nx and 0 <= y < ny and 0 <= z < nz):
             raise ValueError(f"coordinates ({x}, {y}, {z}) outside torus")
         return (z * ny + y) * nx + x
+
+    def layout_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Isometric projection of the 3-D torus into the unit square.
+
+        The Z axis is drawn as a diagonal offset (classic cabinet
+        projection), so same-(x, y) columns read as depth and the XY
+        rings stay on a regular grid.
+        """
+        nx, ny, nz = self.shape
+        span_x = nx + 0.45 * (nz - 1) if nz > 1 else float(nx)
+        span_y = ny + 0.30 * (nz - 1) if nz > 1 else float(ny)
+        out: Dict[int, Tuple[float, float]] = {}
+        for node in range(self.num_nodes):
+            x, y, z = self.coordinates(node)
+            u = (x + 0.5 + 0.45 * z) / span_x
+            v = (y + 0.5 + 0.30 * z) / span_y
+            out[node] = (round(u, 6), round(v, 6))
+        return out
 
     def links(self) -> Sequence[LinkId]:
         nx, ny, nz = self.shape

@@ -11,15 +11,70 @@ importable from the lower layers it instruments.
 
 from __future__ import annotations
 
+import ast
+import json
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..sim import Tracer
 from .metrics import MetricsRegistry
 from .perf import WorkMeter
 from .profiler import EngineProfiler
 
-__all__ = ["CollectiveCapture", "capture_collective"]
+__all__ = ["REPLAY_SCHEMA", "CollectiveCapture", "capture_collective",
+           "dumps_replay_frames", "write_replay_frames",
+           "load_replay_frames"]
+
+PathLike = Union[str, Path]
+
+#: Schema tag of the serialized replay-frame document.
+REPLAY_SCHEMA = "repro-replay/1"
+
+#: Span categories serialized into replay frames, and their painting
+#: order in the dashboard (recovery categories overlay plain traffic).
+REPLAY_CATEGORIES = ("collective", "phase", "message", "link",
+                     "retransmit", "backoff", "reroute")
+
+
+def _round9(value: float) -> float:
+    """9-significant-digit rounding (the repo's golden convention)."""
+    return float(f"{value:.9g}")
+
+
+def _link_points(name: str, topology) -> Optional[List[List[float]]]:
+    """Endpoint positions of one link span, from its ``link <id>`` name.
+
+    Mesh and torus link ids carry the endpoint grid coordinates; those
+    are mapped through the topology's visual layout so the dashboard
+    can draw the individual hop.  Indirect-fabric ids (``("ms", stage,
+    port)``) have no node geometry — the replay falls back to the
+    message's src->dst line.
+    """
+    if not name.startswith("link "):
+        return None
+    try:
+        link_id = ast.literal_eval(name[5:])
+    except (SyntaxError, ValueError):
+        return None
+    if not isinstance(link_id, tuple):
+        return None
+    if link_id and link_id[0] == "mesh" and len(link_id) == 3:
+        coords = link_id[1:]
+    elif link_id and link_id[0] == "torus" and len(link_id) == 4:
+        coords = link_id[2:]
+    else:
+        return None
+    layout = topology.layout_positions()
+    points = []
+    for coord in coords:
+        try:
+            node = topology.node_at(*coord)
+        except (TypeError, ValueError):
+            return None
+        x, y = layout[node]
+        points.append([x, y])
+    return points
 
 
 @dataclass
@@ -37,6 +92,9 @@ class CollectiveCapture:
     metrics: MetricsRegistry
     profiler: Optional[EngineProfiler]
     work: Optional[WorkMeter] = None
+    seed: int = 0
+    #: Name of the fault-plan preset the capture ran under, if any.
+    faults_name: Optional[str] = None
 
     def critical_path(self):
         """Causal critical path of the captured run (the longest
@@ -64,6 +122,84 @@ class CollectiveCapture:
                          f"flat records: {len(self.tracer.records())}; "
                          f"dropped: {self.tracer.dropped}")
         return "\n".join(parts)
+
+    def to_replay_frames(self) -> Dict[str, Any]:
+        """Serialize the capture as a deterministic replay document.
+
+        The document (schema :data:`REPLAY_SCHEMA`) carries everything
+        the dashboard's hop-by-hop replay needs and nothing volatile:
+        the topology's visual layout, every traced span flattened to a
+        frame (collective/phase envelopes, messages, per-hop link
+        occupancies with endpoint geometry where the fabric has any,
+        and the ``retransmit``/``backoff``/``reroute`` recovery spans),
+        and the causal critical path for the overlay.  All times are
+        simulated microseconds rounded to 9 significant digits, so the
+        same seeded capture serializes byte-identically across runs
+        and processes.
+        """
+        topology = self.world.machine.topology
+        layout = topology.layout_positions()
+        frames: List[Dict[str, Any]] = []
+        for span in self.tracer.spans():
+            if span.category not in REPLAY_CATEGORIES:
+                continue
+            end = span.start if span.end is None else span.end
+            frame: Dict[str, Any] = {
+                "id": span.id,
+                "parent": span.parent,
+                "category": span.category,
+                "name": span.name,
+                "node": span.node,
+                "start_us": _round9(span.start),
+                "end_us": _round9(end),
+            }
+            dst = span.detail.get("dst")
+            if dst is not None:
+                frame["dst"] = int(dst)
+            nbytes = span.detail.get("nbytes")
+            if nbytes is not None:
+                frame["nbytes"] = int(nbytes)
+            if span.category == "link":
+                points = _link_points(span.name, topology)
+                if points is not None:
+                    frame["points"] = points
+            frames.append(frame)
+        frames.sort(key=lambda f: (f["start_us"], f["id"]))
+        critical: Optional[Dict[str, Any]] = None
+        try:
+            path = self.critical_path()
+        except ValueError:
+            path = None
+        if path is not None:
+            critical = {
+                "span_ids": [step.span_id for step in path.steps],
+                "start_us": _round9(path.start_us),
+                "end_us": _round9(path.end_us),
+                "total_us": _round9(path.total_us),
+                "components": {name: _round9(value) for name, value
+                               in sorted(path.components.items())},
+            }
+        document: Dict[str, Any] = {
+            "schema": REPLAY_SCHEMA,
+            "machine": self.machine,
+            "op": self.op,
+            "nbytes": self.nbytes,
+            "num_nodes": self.num_nodes,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "elapsed_us": _round9(self.elapsed_us),
+            "topology": {
+                "kind": self.world.spec.network.kind,
+                "positions": [list(layout[node])
+                              for node in range(self.num_nodes)],
+            },
+            "frames": frames,
+            "critical_path": critical,
+            "dropped": self.tracer.dropped,
+        }
+        if self.faults_name:
+            document["faults"] = self.faults_name
+        return document
 
 
 def capture_collective(machine: str, op: str, nbytes: int = 1024,
@@ -105,4 +241,30 @@ def capture_collective(machine: str, op: str, nbytes: int = 1024,
         machine=world.spec.name, op=op, nbytes=nbytes,
         num_nodes=num_nodes, iterations=iterations, elapsed_us=elapsed,
         world=world, tracer=world.tracer, metrics=world.machine.metrics,
-        profiler=profiler, work=meter)
+        profiler=profiler, work=meter, seed=seed,
+        faults_name=getattr(faults, "name", None))
+
+
+def dumps_replay_frames(document: Dict[str, Any]) -> str:
+    """Canonical serialization (sorted keys, indent 2, final newline)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_replay_frames(document: Dict[str, Any],
+                        path: PathLike) -> Path:
+    """Write a replay document canonically; returns the path."""
+    path = Path(path)
+    path.write_text(dumps_replay_frames(document), "utf-8")
+    return path
+
+
+def load_replay_frames(path: PathLike) -> Dict[str, Any]:
+    """Load and schema-check a replay document."""
+    path = Path(path)
+    payload = json.loads(path.read_text("utf-8"))
+    schema = payload.get("schema")
+    if schema != REPLAY_SCHEMA:
+        raise ValueError(f"{path} is not a replay document "
+                         f"(schema {schema!r}, expected "
+                         f"{REPLAY_SCHEMA!r})")
+    return payload

@@ -36,6 +36,7 @@ __all__ = [
     "dumps_drift_artifact",
     "write_drift_artifact",
     "load_drift_artifact",
+    "format_drift_trend",
 ]
 
 PathLike = Union[str, Path]
@@ -272,6 +273,49 @@ def write_drift_artifact(payload: Mapping[str, Any],
     path = Path(path)
     path.write_text(dumps_drift_artifact(payload), "utf-8")
     return path
+
+
+def format_drift_trend(generations: List[Mapping[str, Any]]) -> str:
+    """Terminal sparkline view of drift history.
+
+    ``generations`` are drift artifacts oldest first (the newest is
+    usually the audit that just ran).  One sparkline per machine/op
+    shows ``max_abs_rel_error`` across the generations, scaled to the
+    group's own worst error, plus the per-generation breach totals —
+    the ASCII fallback of the dashboard's drift trend chart.
+    """
+    if not generations:
+        raise ValueError("no drift generations to plot")
+    # Lazy import: repro.bench sits above repro.obs in the layering.
+    from ..bench.asciiplot import sparkline
+
+    keys = sorted({key for generation in generations
+                   for key in generation.get("summary", {})})
+    count = len(generations)
+    lines = [f"drift trend over {count} generation(s) "
+             f"(oldest -> newest)",
+             f"{'machine/op':<22} {'trend':<{max(count, 5)}} "
+             f"{'max|rel|':>10}  breaches"]
+    for key in keys:
+        errors = []
+        breaches = []
+        for generation in generations:
+            stats = generation.get("summary", {}).get(key, {})
+            errors.append(float(stats.get("max_abs_rel_error", 0.0)))
+            breaches.append(int(stats.get("breaches", 0)))
+        lines.append(
+            f"{key:<22} {sparkline(errors, lo=0.0):<{max(count, 5)}} "
+            f"{errors[-1]:>10.3%}  "
+            f"{' '.join(str(b) for b in breaches)}")
+    totals = [int(generation.get("breaches", 0))
+              for generation in generations]
+    passes = ["P" if generation.get("pass") else "F"
+              for generation in generations]
+    lines.append(f"{'total breaches':<22} "
+                 f"{sparkline(totals, lo=0):<{max(count, 5)}} "
+                 f"{'':>10}  {' '.join(str(t) for t in totals)}")
+    lines.append(f"verdicts: {''.join(passes)}")
+    return "\n".join(lines)
 
 
 def load_drift_artifact(path: PathLike) -> Dict[str, Any]:

@@ -9,6 +9,20 @@ message -> link nesting exactly.
 
 Tracks (``tid``) are assigned per node; spans with no node (the
 aggregate collective/phase envelopes) go on track 0.
+
+Track/pid assignment is explicitly deterministic, so two exports of
+the same traced run — in one process or across processes — produce
+byte-identical documents:
+
+* everything lives in ``pid`` 0 (one simulator process);
+* ``tid`` is a pure function of the span's node: ``0`` for node-less
+  aggregate spans, ``node + 1`` otherwise — never an enumeration
+  order;
+* all ``thread_name`` metadata events are emitted up front in
+  ascending ``tid`` order (one per track that carries *spans*;
+  record-only tracks need no name), before any ``X``/``i`` event;
+* span and record events follow in the tracer's own deterministic
+  order (monotone start times from the simulated clock).
 """
 
 from __future__ import annotations
@@ -47,14 +61,18 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
         {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
          "args": {"name": "collectives"}},
     ]
-    named_tracks = set()
+    # All track names up front, in ascending tid order (not first-seen
+    # span order), so the metadata block is a deterministic function of
+    # the set of span tracks alone.
+    span_tracks = sorted({_track(span.node) for span in tracer.spans()}
+                         - {0})
+    for tid in span_tracks:
+        events.append({"ph": "M", "name": "thread_name", "pid": 0,
+                       "tid": tid,
+                       "args": {"name":
+                                f"node {tid - _NODE_TRACK_BASE}"}})
     for span in tracer.spans():
         tid = _track(span.node)
-        if tid != 0 and tid not in named_tracks:
-            named_tracks.add(tid)
-            events.append({"ph": "M", "name": "thread_name", "pid": 0,
-                           "tid": tid,
-                           "args": {"name": f"node {span.node}"}})
         args = dict(span.detail)
         args["id"] = span.id
         if span.parent:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench import ascii_plot, plot_figure
+from repro.bench import ascii_plot, plot_figure, sparkline
 from repro.bench.figures import FigureData
 
 
@@ -76,3 +76,24 @@ def test_cli_plot_flag(capsys, monkeypatch):
     assert main(["figure", "4", "--plot"]) == 0
     out = capsys.readouterr().out
     assert "legend:" in out
+
+
+def test_sparkline_maps_range_onto_blocks():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line == "▁▂▃▄▅▆▇█"
+    assert sparkline([5.0]) == "▁"
+    assert sparkline([2, 2, 2]) == "▁▁▁"
+
+
+def test_sparkline_explicit_bounds_and_clamping():
+    assert sparkline([0.0, 10.0], lo=0.0, hi=10.0) == "▁█"
+    # Values outside [lo, hi] clamp instead of wrapping.
+    assert sparkline([-5.0, 99.0], lo=0.0, hi=10.0) == "▁█"
+    assert sparkline([0.0, 0.0], lo=0.0, hi=10.0) == "▁▁"
+
+
+def test_sparkline_rejects_bad_input():
+    with pytest.raises(ValueError, match="nothing to plot"):
+        sparkline([])
+    with pytest.raises(ValueError, match="bad sparkline range"):
+        sparkline([1.0], lo=5.0, hi=0.0)

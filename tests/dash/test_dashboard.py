@@ -1,0 +1,106 @@
+"""Tests for the self-contained HTML dashboard (repro.dash)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dash import render_dashboard_html, write_dashboard
+from repro.obs.ledger import build_ledger, discover_artifacts
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+LEDGER_INPUTS = [
+    REPO_ROOT / "BENCH_drift.json",
+    REPO_ROOT / "BENCH_engine.json",
+    REPO_ROOT / "tests/golden/BENCH_sweep_baseline.json",
+    REPO_ROOT / "tests/golden/BENCH_tuning_smoke.json",
+]
+
+SECTION_MARKERS = [
+    "Collective replay",
+    "Drift audit trend",
+    "Engine throughput",
+    "Tuner decision tables",
+    "Sweep curves",
+]
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    return build_ledger(discover_artifacts(LEDGER_INPUTS))
+
+
+def test_page_embeds_bundle_digest(ledger):
+    html = render_dashboard_html(ledger)
+    digest = ledger["bundle_digest"]
+    assert (f'<meta name="repro-bundle-digest" content="{digest}">'
+            in html)
+    assert f'<span id="digest">{digest}</span>' in html
+
+
+def test_page_embeds_the_full_ledger(ledger):
+    html = render_dashboard_html(ledger)
+    start = html.index('<script type="application/json" id="ledger">')
+    end = html.index("</script>", start)
+    island = html[html.index("\n", start):end]
+    embedded = json.loads(island.replace("<\\/", "</"))
+    assert embedded == json.loads(json.dumps(ledger))
+
+
+def test_page_is_self_contained(ledger):
+    html = render_dashboard_html(ledger)
+    # No external fetches: works from file:// with no network.
+    assert "http://" not in html.replace("http://www.w3.org", "")
+    assert "https://" not in html
+    assert "<link" not in html
+    assert 'src="' not in html
+    for marker in SECTION_MARKERS:
+        assert marker in html
+
+
+def test_page_is_deterministic(ledger):
+    assert render_dashboard_html(ledger) \
+        == render_dashboard_html(ledger)
+
+
+def test_custom_title(ledger):
+    html = render_dashboard_html(ledger, title="nightly run 42")
+    assert "<title>nightly run 42</title>" in html
+
+
+def test_script_island_escapes_closing_tags():
+    # A hostile artifact embedding "</script>" must not break out of
+    # the JSON island.
+    doc = {"schema": "repro-drift/1", "pass": True, "breaches": 0,
+           "cells": [], "summary": {}, "source": {},
+           "note": "</script><script>alert(1)</script>"}
+    ledger = build_ledger([("evil.json", "drift", doc)])
+    html = render_dashboard_html(ledger)
+    start = html.index('id="ledger"')
+    end = html.index("</script>", start)
+    island = html[start:end]
+    # The hostile text survives (escaped) but no literal closing tag
+    # can terminate the island early.
+    assert "</script>" not in island
+    assert "<\\/script>" in island
+    embedded = json.loads(
+        island[island.index("\n"):].replace("<\\/", "</"))
+    assert embedded["entries"][0]["document"]["note"] \
+        == "</script><script>alert(1)</script>"
+
+
+def test_render_rejects_invalid_ledger():
+    with pytest.raises(ValueError, match="not a ledger"):
+        render_dashboard_html({"schema": "repro-sweep/1"})
+
+
+def test_write_dashboard_creates_directory(ledger, tmp_path):
+    out = tmp_path / "deep" / "site"
+    path = write_dashboard(ledger, out)
+    assert path == out / "index.html"
+    assert path.read_text("utf-8") == render_dashboard_html(ledger)
+    other = write_dashboard(ledger, out, name="report.html",
+                            title="other")
+    assert other.name == "report.html"
+    assert "<title>other</title>" in other.read_text("utf-8")

@@ -12,6 +12,7 @@ from repro.obs.drift import (
     audit_artifact,
     build_drift_artifact,
     dumps_drift_artifact,
+    format_drift_trend,
     load_drift_artifact,
     write_drift_artifact,
 )
@@ -129,3 +130,33 @@ def test_load_rejects_wrong_schema(tmp_path):
     bogus.write_text(json.dumps({"schema": "other/1"}))
     with pytest.raises(ValueError, match="not a drift artifact"):
         load_drift_artifact(bogus)
+
+
+def test_trend_sparklines_over_generations(baseline):
+    first = build_drift_artifact(audit_artifact(baseline))
+    worse = copy.deepcopy(first)
+    for stats in worse["summary"].values():
+        stats["max_abs_rel_error"] = 0.5
+        stats["breaches"] = 2
+    worse["breaches"] = 2 * len(worse["summary"])
+    worse["pass"] = False
+    text = format_drift_trend([first, worse])
+    assert "drift trend over 2 generation(s)" in text
+    assert "verdicts: PF" in text
+    # The degraded generation renders as a taller block than the first.
+    line = next(l for l in text.splitlines()
+                if l.startswith("sp2/broadcast"))
+    assert "\u2581\u2588" in line  # flat start, full-height spike
+    assert "50.000%" in line
+
+
+def test_trend_single_generation(baseline):
+    payload = build_drift_artifact(audit_artifact(baseline))
+    text = format_drift_trend([payload])
+    assert "1 generation(s)" in text
+    assert "verdicts: P" in text
+
+
+def test_trend_rejects_empty_history():
+    with pytest.raises(ValueError, match="no drift generations"):
+        format_drift_trend([])

@@ -514,3 +514,100 @@ def test_sweep_decision_table_missing_file(capsys, tmp_path):
     assert main(["sweep", "--grid", "smoke", "--decision-table",
                  str(tmp_path / "absent.json"), "--no-cache"]) == 2
     assert capsys.readouterr().err
+
+
+def test_audit_trend_renders_sparklines(capsys, tmp_path):
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    out_path = tmp_path / "drift.json"
+    # First audit seeds the history; second one trends against it.
+    assert main(["audit", str(baseline), "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    code = main(["audit", str(baseline), "--trend", "--out",
+                 str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "drift trend over 2 generation(s)" in out
+    assert "verdicts: PP" in out
+    assert "▁" in out
+
+
+def test_audit_trend_without_history_is_single_generation(capsys,
+                                                          tmp_path):
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    code = main(["audit", str(baseline), "--trend", "--out",
+                 str(tmp_path / "absent.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "drift trend over 1 generation(s)" in out
+
+
+def test_audit_trend_bad_history_path(capsys, tmp_path):
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    assert main(["audit", str(baseline), "--trend", "--history",
+                 str(tmp_path / "missing.json")]) == 2
+    assert capsys.readouterr().err
+
+
+def test_dash_command_builds_ledger_and_page(capsys, tmp_path):
+    import json
+    from pathlib import Path
+    baseline = Path(__file__).parent / "golden" / \
+        "BENCH_sweep_baseline.json"
+    out_dir = tmp_path / "site"
+    code = main(["dash", "--artifacts", str(baseline),
+                 "--capture", "t3d:broadcast", "--bytes", "4096",
+                 "--nodes", "8", "--faults", "single-link-outage",
+                 "--out", str(out_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    ledger_path = out_dir / "BENCH_ledger.json"
+    page = out_dir / "index.html"
+    replay = out_dir / "replay_t3d_broadcast.json"
+    assert ledger_path.exists() and page.exists() and replay.exists()
+    ledger = json.loads(ledger_path.read_text())
+    assert ledger["families"] == {"replay": 1, "sweep": 1}
+    assert ledger["bundle_digest"] in page.read_text("utf-8")
+    assert ledger["bundle_digest"][:16] in out
+
+    # Re-running over the same inputs reproduces the ledger byte for
+    # byte (the out directory itself is never scanned for inputs).
+    first = ledger_path.read_bytes()
+    assert main(["dash", "--artifacts", str(baseline),
+                 "--capture", "t3d:broadcast", "--bytes", "4096",
+                 "--nodes", "8", "--faults", "single-link-outage",
+                 "--out", str(out_dir)]) == 0
+    capsys.readouterr()
+    assert ledger_path.read_bytes() == first
+
+
+def test_dash_command_rejects_bad_capture_spec(capsys, tmp_path):
+    assert main(["dash", "--artifacts", str(tmp_path),
+                 "--capture", "cm5:broadcast",
+                 "--out", str(tmp_path / "site")]) == 2
+    assert "sp2/t3d/paragon" in capsys.readouterr().err
+    assert main(["dash", "--artifacts", str(tmp_path),
+                 "--capture", "t3d", "--out",
+                 str(tmp_path / "site")]) == 2
+    assert capsys.readouterr().err
+
+
+def test_dash_command_rejects_bad_faults_preset(capsys, tmp_path):
+    assert main(["dash", "--artifacts", str(tmp_path),
+                 "--capture", "t3d:broadcast", "--faults", "gremlins",
+                 "--out", str(tmp_path / "site")]) == 2
+    assert "known presets" in capsys.readouterr().err
+
+
+def test_dash_command_rejects_unclassifiable_artifact(capsys,
+                                                      tmp_path):
+    junk = tmp_path / "junk.json"
+    junk.write_text('{"just": "notes"}')
+    assert main(["dash", "--artifacts", str(junk),
+                 "--out", str(tmp_path / "site")]) == 2
+    assert "not a recognised artifact" in capsys.readouterr().err
